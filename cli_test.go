@@ -1,0 +1,106 @@
+package mlpcache_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end tests of the three command-line tools: build each binary
+// once, then drive the documented flows (simulate, regenerate an
+// experiment, generate/inspect/replay a trace).
+
+// buildTools compiles the commands into a temp dir once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	for _, tool := range []string{"mlpsim", "mlpexp", "mlptrace"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func runTool(t *testing.T, dir, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	dir := buildTools(t)
+
+	t.Run("mlpsim-list", func(t *testing.T) {
+		out := runTool(t, dir, "mlpsim", "-list")
+		for _, want := range []string{"art", "mcf", "mgrid"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("-list missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("mlpsim-run", func(t *testing.T) {
+		out := runTool(t, dir, "mlpsim", "-bench", "micro.figure1",
+			"-policy", "lin", "-n", "120000")
+		if !strings.Contains(out, "IPC") || !strings.Contains(out, "mlp-cost distribution") {
+			t.Fatalf("unexpected mlpsim output:\n%s", out)
+		}
+	})
+
+	t.Run("mlpexp-exact-figures", func(t *testing.T) {
+		out := runTool(t, dir, "mlpexp", "-run", "fig1,fig3b,fig8,ovh")
+		for _, want := range []string{"Figure 1", "Figure 3(b)", "Figure 8", "1857"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("mlpexp output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("mlpexp-csv", func(t *testing.T) {
+		out := runTool(t, dir, "mlpexp", "-run", "fig3b", "-format", "csv")
+		if !strings.Contains(out, "420+ cycles,7") {
+			t.Fatalf("CSV output malformed:\n%s", out)
+		}
+	})
+
+	t.Run("trace-pipeline", func(t *testing.T) {
+		tr := filepath.Join(dir, "t.trace")
+		out := runTool(t, dir, "mlptrace", "-gen", "micro.parallel", "-n", "60000", "-o", tr)
+		if !strings.Contains(out, "wrote 60000 instructions") {
+			t.Fatalf("generate failed:\n%s", out)
+		}
+		out = runTool(t, dir, "mlptrace", "-stats", tr)
+		if !strings.Contains(out, "instructions      60000") {
+			t.Fatalf("stats failed:\n%s", out)
+		}
+		out = runTool(t, dir, "mlptrace", "-dump", tr, "-limit", "5")
+		if !strings.Contains(out, "load") {
+			t.Fatalf("dump failed:\n%s", out)
+		}
+		// Replay the trace through the simulator and cross-check the
+		// instruction count.
+		out = runTool(t, dir, "mlpsim", "-trace", tr, "-hist=false")
+		if !strings.Contains(out, "instructions 60000") {
+			t.Fatalf("replay failed:\n%s", out)
+		}
+	})
+
+	t.Run("mlpsim-unknown-bench-fails", func(t *testing.T) {
+		cmd := exec.Command(filepath.Join(dir, "mlpsim"), "-bench", "gcc")
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Fatalf("expected failure for unknown benchmark:\n%s", out)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+// Command mlpexp regenerates the paper's tables and figures. Each
+// experiment prints a paper-style text table; see DESIGN.md §4 for the
+// experiment index.
+//
+// Examples:
+//
+//	mlpexp -run fig5 -n 3000000
+//	mlpexp -run fig2,tab1
+//	mlpexp -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mlpcache/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated experiment ids: fig1..fig11, tab1..tab3, ovh, sens-mem, sens-cache, sens-mshr, sens-window, all, sens")
+		n      = flag.Uint64("n", 3_000_000, "instructions per simulation run")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all 14)")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner(*n, *seed)
+	if *bench != "" {
+		r.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	ids := strings.Split(*run, ",")
+	switch *run {
+	case "all":
+		ids = experiments.AllIDs()
+	case "sens":
+		ids = experiments.SensitivityIDs()
+	}
+	for _, id := range ids {
+		var err error
+		switch *format {
+		case "csv":
+			err = experiments.RunByIDCSV(r, strings.TrimSpace(id), os.Stdout)
+		default:
+			err = experiments.RunByID(r, strings.TrimSpace(id), os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlpexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

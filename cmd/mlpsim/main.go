@@ -1,0 +1,160 @@
+// Command mlpsim runs one benchmark model on the simulated baseline
+// machine under a chosen L2 replacement policy and prints the full
+// statistics the paper's experiments are built from.
+//
+// Examples:
+//
+//	mlpsim -bench mcf -policy lru -n 2000000
+//	mlpsim -bench mcf -policy lin -lambda 4 -n 2000000
+//	mlpsim -bench ammp -policy sbar -leaders 32 -n 4000000 -series
+//	mlpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mlpcache/internal/bpred"
+	"mlpcache/internal/prefetch"
+	"mlpcache/internal/sim"
+	"mlpcache/internal/trace"
+	"mlpcache/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "mcf", "benchmark model to run (see -list)")
+		policy    = flag.String("policy", "lru", "replacement policy: lru|fifo|random|nmru|lin|sbar|cbs-local|cbs-global")
+		lambda    = flag.Int("lambda", 4, "LIN λ (also used inside SBAR/CBS)")
+		leaders   = flag.Int("leaders", 32, "SBAR leader sets")
+		pselBits  = flag.Int("psel", 0, "PSEL bits (0: policy default)")
+		randDyn   = flag.Bool("rand-dynamic", false, "use rand-dynamic leader selection for SBAR")
+		n         = flag.Uint64("n", 2_000_000, "instructions to simulate")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+		series    = flag.Bool("series", false, "print the Figure 11 time series")
+		interval  = flag.Uint64("interval", 100_000, "time-series sample interval (instructions)")
+		epoch     = flag.Uint64("epoch", 250_000, "rand-dynamic reselection epoch (instructions)")
+		hist      = flag.Bool("hist", true, "print the mlp-cost histogram")
+		list      = flag.Bool("list", false, "list benchmark models and exit")
+		traceFile = flag.String("trace", "", "replay a binary trace file instead of a benchmark model")
+		pf        = flag.Bool("prefetch", false, "enable the L2 stride prefetcher")
+		bp        = flag.Bool("bpred", false, "use a live gshare/per-address hybrid branch predictor instead of oracle flags")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.All() {
+			fmt.Printf("%-9s %-3s paper LIN: %+.0f%% misses, %+.1f%% IPC\n",
+				s.Name, s.Class, s.PaperLINMissPct, s.PaperLINIPCPct)
+		}
+		return
+	}
+
+	var src trace.Source
+	benchLabel := *bench
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlpsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlpsim: %v\n", err)
+			os.Exit(1)
+		}
+		src = r
+		benchLabel = *traceFile + " (trace replay)"
+	} else {
+		spec, ok := workload.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mlpsim: unknown benchmark %q (try -list)\n", *bench)
+			os.Exit(2)
+		}
+		src = spec.Build(*seed)
+		benchLabel = fmt.Sprintf("%s (%s)", spec.Name, spec.Class)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = *n
+	cfg.Policy = sim.PolicySpec{
+		Kind:        sim.PolicyKind(*policy),
+		Lambda:      *lambda,
+		LeaderSets:  *leaders,
+		PselBits:    *pselBits,
+		RandDynamic: *randDyn,
+		Seed:        *seed,
+	}
+	if *series {
+		cfg.SampleInterval = *interval
+	}
+	if *randDyn {
+		cfg.EpochInstructions = *epoch
+	}
+	if *pf {
+		pcfg := prefetch.DefaultConfig()
+		cfg.Prefetch = &pcfg
+	}
+	if *bp {
+		bcfg := bpred.DefaultConfig()
+		cfg.CPU.BranchPredictor = &bcfg
+	}
+
+	res := sim.Run(cfg, src)
+
+	fmt.Printf("benchmark   %s\n", benchLabel)
+	fmt.Printf("policy      %s\n", res.Policy)
+	fmt.Printf("instructions %d   cycles %d   IPC %.4f\n", res.Instructions, res.Cycles, res.IPC)
+	fmt.Printf("L1: %d hits / %d misses (%.2f%% miss)\n",
+		res.L1.Hits, res.L1.Misses, 100*res.L1.MissRate())
+	fmt.Printf("L2: %d hits / %d misses (%.2f%% miss); %d serviced, %d merged, %.1f%% compulsory\n",
+		res.L2.Hits, res.L2.Misses, 100*res.L2.MissRate(),
+		res.Mem.DemandMisses, res.Mem.MergedMisses, res.CompulsoryPercent())
+	fmt.Printf("MPKI %.3f   avg mlp-cost %.1f cycles   avg cost_q %.2f\n",
+		res.MPKI(), res.AvgMLPCost(), res.AvgCostQ())
+	fmt.Printf("mem stalls: %d cycles in %d episodes; full-window %d cycles\n",
+		res.CPU.MemStallCycles, res.CPU.MemStallEpisodes, res.CPU.FullWindowCycles)
+	fmt.Printf("DRAM: %d reads, %d writes; bank wait %d, bus wait %d cycles\n",
+		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.BankWaitCycles, res.DRAM.BusWaitCycles)
+	if d := res.Delta; d.Samples() > 0 {
+		fmt.Printf("delta: <60 %.0f%%, 60-119 %.0f%%, >=120 %.0f%%, mean %.0f cycles (%d samples)\n",
+			d.PercentLt60(), d.PercentGe60Lt120(), d.PercentGe120(), d.Mean(), d.Samples())
+	}
+	if res.Bpred.Lookups > 0 {
+		fmt.Printf("bpred: %d lookups, %d mispredicts (%.2f%%), gshare used %.0f%%\n",
+			res.Bpred.Lookups, res.Bpred.Mispredicts, 100*res.Bpred.MispredictRate(),
+			100*float64(res.Bpred.GshareUsed)/float64(res.Bpred.Lookups))
+	}
+	if res.Mem.PrefetchIssued > 0 {
+		fmt.Printf("prefetch: %d issued, %d useful, %d late, %d unused, %d dropped\n",
+			res.Mem.PrefetchIssued, res.Mem.PrefetchUseful, res.Mem.PrefetchLate,
+			res.Mem.PrefetchUnused, res.Mem.PrefetchDropped)
+	}
+	if res.Hybrid != nil {
+		fmt.Printf("hybrid: PSEL +%d/-%d updates, victims %d LIN / %d LRU\n",
+			res.Hybrid.PselIncrements, res.Hybrid.PselDecrements,
+			res.Hybrid.LinVictims, res.Hybrid.LruVictims)
+	}
+	if *hist {
+		fmt.Printf("mlp-cost distribution (%% of misses):\n")
+		pct := res.CostHist.Percent()
+		var labels, vals []string
+		for i, p := range pct {
+			labels = append(labels, fmt.Sprintf("%8s", res.CostHist.BinLabel(i)))
+			vals = append(vals, fmt.Sprintf("%7.1f%%", p))
+		}
+		fmt.Printf("  %s\n  %s\n", strings.Join(labels, " "), strings.Join(vals, " "))
+	}
+	if res.Series != nil {
+		fmt.Println("time series (instructions, IPC, MPKI, avg cost_q):")
+		for i, p := range res.Series.IPC.Points {
+			fmt.Printf("  %10d  %.4f  %8.3f  %.2f\n",
+				p.Instructions, p.Value,
+				res.Series.MPKI.Points[i].Value,
+				res.Series.AvgCostQ.Points[i].Value)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Command mlptrace generates, inspects and summarizes binary instruction
+// traces in the trace package's on-disk format, decoupling workload
+// generation from simulation.
+//
+// Examples:
+//
+//	mlptrace -gen mcf -n 1000000 -o mcf.trace
+//	mlptrace -dump mcf.trace -limit 20
+//	mlptrace -stats mcf.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlpcache/internal/trace"
+	"mlpcache/internal/workload"
+)
+
+func main() {
+	var (
+		gen   = flag.String("gen", "", "benchmark model to generate (see mlpsim -list)")
+		n     = flag.Int("n", 1_000_000, "instructions to generate")
+		seed  = flag.Uint64("seed", 42, "workload seed")
+		out   = flag.String("o", "", "output trace file (with -gen)")
+		dump  = flag.String("dump", "", "trace file to print")
+		limit = flag.Int("limit", 50, "instructions to print (with -dump)")
+		stat  = flag.String("stats", "", "trace file to summarize")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		if err := generate(*gen, *out, *n, *seed); err != nil {
+			fatal(err)
+		}
+	case *dump != "":
+		if err := dumpTrace(*dump, *limit); err != nil {
+			fatal(err)
+		}
+	case *stat != "":
+		if err := statsTrace(*stat); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mlptrace: %v\n", err)
+	os.Exit(1)
+}
+
+func generate(bench, out string, n int, seed uint64) error {
+	spec, ok := workload.ByName(bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", bench)
+	}
+	if out == "" {
+		out = bench + ".trace"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	src := trace.NewLimit(spec.Build(seed), n)
+	written := 0
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(in); err != nil {
+			return err
+		}
+		written++
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d instructions to %s (%d bytes, %.2f B/instr)\n",
+		written, out, info.Size(), float64(info.Size())/float64(written))
+	return nil
+}
+
+func openTrace(path string) (*trace.Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+func dumpTrace(path string, limit int) error {
+	r, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i := 0; i < limit; i++ {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch {
+		case in.Kind.IsMem():
+			fmt.Printf("%6d  %-6s addr=%#x dep=%d\n", i, in.Kind, in.Addr, in.Dep)
+		case in.Kind == trace.Branch:
+			fmt.Printf("%6d  branch mispredict=%v\n", i, in.Mispredict)
+		default:
+			fmt.Printf("%6d  %-6s dep=%d\n", i, in.Kind, in.Dep)
+		}
+	}
+	return r.Err()
+}
+
+func statsTrace(path string) error {
+	r, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var total, mem, deps, branches, mispredicts int
+	blocks := map[uint64]struct{}{}
+	kinds := map[trace.Kind]int{}
+	for {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		total++
+		kinds[in.Kind]++
+		if in.Kind.IsMem() {
+			mem++
+			blocks[in.Addr/64] = struct{}{}
+		}
+		if in.Dep > 0 {
+			deps++
+		}
+		if in.Kind == trace.Branch {
+			branches++
+			if in.Mispredict {
+				mispredicts++
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("instructions      %d\n", total)
+	fmt.Printf("memory ops        %d (%.1f%%)\n", mem, 100*float64(mem)/float64(total))
+	fmt.Printf("distinct blocks   %d (%.1f KB footprint)\n", len(blocks), float64(len(blocks))*64/1024)
+	fmt.Printf("with dependences  %d (%.1f%%)\n", deps, 100*float64(deps)/float64(total))
+	fmt.Printf("branches          %d (%d mispredicted)\n", branches, mispredicts)
+	for k := trace.Int; k <= trace.Branch; k++ {
+		if kinds[k] > 0 {
+			fmt.Printf("  %-7s %d\n", k, kinds[k])
+		}
+	}
+	return nil
+}

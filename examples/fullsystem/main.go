@@ -1,0 +1,65 @@
+// Fullsystem: the whole machine with every optional substrate enabled —
+// live branch prediction, an L2 stride prefetcher, and SBAR replacement —
+// compared against the paper's bare baseline. Shows how the pieces
+// interact: on mcf the stride prefetcher eliminates the *strided* misses
+// (which were already parallel and cheap), concentrating the remaining
+// misses in the expensive bins — the cost non-uniformity SBAR then
+// exploits on top.
+package main
+
+import (
+	"fmt"
+
+	"mlpcache"
+)
+
+func run(label string, configure func(*mlpcache.Config)) mlpcache.Result {
+	cfg := mlpcache.DefaultConfig()
+	cfg.MaxInstructions = 1_500_000
+	configure(&cfg)
+	bench, _ := mlpcache.Benchmark("mcf")
+	res := mlpcache.Run(cfg, bench.Build(42))
+	fmt.Printf("%-28s IPC %.4f   misses %6d   avg mlp-cost %5.1f   420+ bin %4.1f%%\n",
+		label, res.IPC, res.MissesServiced(), res.AvgMLPCost(), res.CostHist.Percent()[7])
+	return res
+}
+
+func main() {
+	fmt.Println("mcf model, 1.5M instructions — building up the full system:")
+	fmt.Println()
+
+	base := run("baseline (LRU, oracle BP)", func(cfg *mlpcache.Config) {})
+
+	run("+ live branch predictor", func(cfg *mlpcache.Config) {
+		bp := mlpcache.DefaultBranchPredictorConfig()
+		cfg.CPU.BranchPredictor = &bp
+	})
+
+	pfRes := run("+ stride prefetcher", func(cfg *mlpcache.Config) {
+		bp := mlpcache.DefaultBranchPredictorConfig()
+		cfg.CPU.BranchPredictor = &bp
+		pf := mlpcache.DefaultPrefetchConfig()
+		cfg.Prefetch = &pf
+	})
+
+	full := run("+ SBAR replacement", func(cfg *mlpcache.Config) {
+		bp := mlpcache.DefaultBranchPredictorConfig()
+		cfg.CPU.BranchPredictor = &bp
+		pf := mlpcache.DefaultPrefetchConfig()
+		cfg.Prefetch = &pf
+		cfg.Policy = mlpcache.PolicySpec{Kind: mlpcache.PolicySBAR}
+	})
+
+	fmt.Println()
+	fmt.Printf("full system vs baseline: IPC %+.1f%%\n", full.IPCDeltaPercent(base))
+	fmt.Printf("prefetch coverage: %d issued, %d fully timely, %d late (latency partly hidden)\n",
+		full.Mem.PrefetchIssued, full.Mem.PrefetchUseful, full.Mem.PrefetchLate)
+	fmt.Printf("branch predictor: %.2f%% mispredict rate over %d branches\n",
+		100*full.Bpred.MispredictRate(), full.Bpred.Lookups)
+	if pfRes.AvgMLPCost() > base.AvgMLPCost() {
+		fmt.Println("note how prefetching RAISED the average cost per remaining miss: it")
+		fmt.Println("removed the prefetchable (strided, parallel) misses and left the")
+		fmt.Println("pointer-chasing ones — sharpening exactly the non-uniformity that")
+		fmt.Println("MLP-aware replacement feeds on.")
+	}
+}

@@ -1,0 +1,72 @@
+// Pointerchase: build a custom workload from the generator combinators —
+// a linked-list traversal (isolated misses) fighting a streaming sweep
+// for cache space — and watch the isolated misses disappear under
+// MLP-aware replacement.
+//
+// This is the paper's core scenario distilled: both policies service the
+// same number of memory requests per iteration under LRU, but the
+// isolated ones each stall the pipeline for the full 444-cycle memory
+// latency while the streaming ones amortize it across the whole
+// instruction window.
+package main
+
+import (
+	"fmt"
+
+	"mlpcache"
+)
+
+func workload(seed uint64) mlpcache.Source {
+	// A 5000-block linked list, revisited for ever: every miss is
+	// isolated because each load's address depends on the previous
+	// load's data.
+	list := mlpcache.NewPointerChase(mlpcache.ChaseConfig{
+		Base:   1 << 33,
+		Blocks: 5000,
+		Gap:    10, // pointer arithmetic between hops
+		Seed:   seed,
+	})
+	// A 30000-block array swept with independent loads: misses overlap
+	// up to the window and MSHR limits.
+	array := mlpcache.NewStream(mlpcache.StreamConfig{
+		Base:   2 << 33,
+		Blocks: 30_000,
+		Gap:    8,
+		Seed:   seed + 1,
+	})
+	// Interleave in coarse chunks so each component's misses keep
+	// their natural memory-level parallelism.
+	return mlpcache.NewMix(seed,
+		mlpcache.MixPart{Src: list, Weight: 1, Chunk: 24 * 11},
+		mlpcache.MixPart{Src: array, Weight: 4, Chunk: 16 * 9},
+	)
+}
+
+func main() {
+	const instructions = 1_500_000
+	fmt.Println("linked list (isolated misses) vs array sweep (parallel misses)")
+	fmt.Println("cache: 1MB 16-way — too small for both working sets")
+	fmt.Println()
+
+	var base mlpcache.Result
+	for _, kind := range []mlpcache.PolicyKind{mlpcache.PolicyLRU, mlpcache.PolicyLIN} {
+		cfg := mlpcache.DefaultConfig()
+		cfg.MaxInstructions = instructions
+		cfg.Policy = mlpcache.PolicySpec{Kind: kind, Lambda: 4}
+		res := mlpcache.Run(cfg, workload(7))
+
+		isolatedPct := res.CostHist.Percent()[7]
+		fmt.Printf("%-5s IPC %.4f   misses %6d   isolated (420+ cycles): %.1f%%   mem-stall %d cycles\n",
+			kind, res.IPC, res.MissesServiced(), isolatedPct, res.CPU.MemStallCycles)
+		if kind == mlpcache.PolicyLRU {
+			base = res
+			continue
+		}
+		fmt.Printf("\nLIN vs LRU: IPC %+.1f%%, misses %+.1f%%\n",
+			res.IPCDeltaPercent(base), res.MissDeltaPercent(base))
+		fmt.Println("The list earns cost_q=7 on every miss; λ·cost_q = 28 outranks any")
+		fmt.Println("recency position, so LIN pins the list and sacrifices array blocks —")
+		fmt.Println("more total misses would even be acceptable, because each avoided")
+		fmt.Println("isolated miss saves a full memory round-trip of stall.")
+	}
+}

@@ -1,0 +1,3 @@
+module mlpcache
+
+go 1.22

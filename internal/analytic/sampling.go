@@ -1,0 +1,91 @@
+// Package analytic implements the paper's Section 6.3 analytical model of
+// sampling: the probability that a majority vote over k randomly chosen
+// leader sets selects the globally best replacement policy, when a
+// fraction p of all sets favours that policy (equations 3-5, Figure 8).
+package analytic
+
+import "math"
+
+// PBest returns P(Best) for k leader sets at favour fraction p:
+//
+//	odd k:  Σ_{i=0}^{(k-1)/2} C(k,i) p^(k-i) (1-p)^i
+//	even k: Σ_{i=0}^{k/2-1} C(k,i) p^(k-i) (1-p)^i + ½ C(k,k/2) (p(1-p))^(k/2)
+//
+// (the even-k tie is broken by a fair coin). It panics on k < 1 or p
+// outside [0,1] — both configuration errors.
+func PBest(k int, p float64) float64 {
+	if k < 1 {
+		panic("analytic: k must be at least 1")
+	}
+	if p < 0 || p > 1 {
+		panic("analytic: p must be in [0,1]")
+	}
+	sum := 0.0
+	if k%2 == 1 {
+		for i := 0; i <= (k-1)/2; i++ {
+			sum += term(k, i, p)
+		}
+		return clamp01(sum)
+	}
+	for i := 0; i < k/2; i++ {
+		sum += term(k, i, p)
+	}
+	sum += 0.5 * term(k, k/2, p)
+	return clamp01(sum)
+}
+
+// term computes C(k,i) p^(k-i) (1-p)^i in log space for numerical range.
+func term(k, i int, p float64) float64 {
+	if p == 0 {
+		if i == k {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if i == 0 {
+			return 1
+		}
+		return 0
+	}
+	logC := lgamma(float64(k)+1) - lgamma(float64(i)+1) - lgamma(float64(k-i)+1)
+	return math.Exp(logC + float64(k-i)*math.Log(p) + float64(i)*math.Log(1-p))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Curve returns PBest over the given leader-set counts for one p — one
+// line of Figure 8.
+func Curve(ks []int, p float64) []float64 {
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		out[i] = PBest(k, p)
+	}
+	return out
+}
+
+// MinLeadersFor returns the smallest odd k ≤ kMax with PBest(k,p) ≥ target,
+// or 0 if none. It quantifies the paper's conclusion that 16-32 leader
+// sets select the best policy with >95% probability for the measured
+// p ∈ [0.74, 0.99].
+func MinLeadersFor(p, target float64, kMax int) int {
+	for k := 1; k <= kMax; k += 2 {
+		if PBest(k, p) >= target {
+			return k
+		}
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPBestBaseCases(t *testing.T) {
+	// k=1: P(Best) = p (equation preceding eq. 3).
+	for _, p := range []float64{0.5, 0.6, 0.74, 0.9, 1.0} {
+		if got := PBest(1, p); math.Abs(got-p) > 1e-12 {
+			t.Errorf("PBest(1, %v) = %v, want %v", p, got, p)
+		}
+	}
+	// p=0.5: majority vote of a fair coin stays at 1/2 for every k.
+	for _, k := range []int{1, 2, 3, 8, 31, 64} {
+		if got := PBest(k, 0.5); math.Abs(got-0.5) > 1e-9 {
+			t.Errorf("PBest(%d, 0.5) = %v, want 0.5", k, got)
+		}
+	}
+	// p=1: always selects best.
+	if PBest(7, 1) != 1 {
+		t.Error("PBest(k, 1) must be 1")
+	}
+	if PBest(7, 0) != 0 {
+		t.Error("PBest(k, 0) must be 0")
+	}
+}
+
+func TestPBestEquation3(t *testing.T) {
+	// Equation 3: three leader sets: p³ + 3p²(1-p).
+	for _, p := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		want := p*p*p + 3*p*p*(1-p)
+		if got := PBest(3, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("PBest(3, %v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPBestEvenTieBreak(t *testing.T) {
+	// k=2: win both (p²) or split (2p(1-p)) decided by a fair coin:
+	// p² + p(1-p) = p. The paper's Figure 8 shows k=2 equal to k=1.
+	for _, p := range []float64{0.6, 0.7, 0.8} {
+		if got := PBest(2, p); math.Abs(got-p) > 1e-12 {
+			t.Errorf("PBest(2, %v) = %v, want %v", p, got, p)
+		}
+	}
+}
+
+func TestPaperConclusion(t *testing.T) {
+	// "16-32 leader sets select the globally best policy with >95%
+	// probability" for the measured p ∈ [0.74, 0.99].
+	for _, p := range []float64{0.74, 0.8, 0.9, 0.99} {
+		if got := PBest(31, p); got < 0.95 {
+			t.Errorf("PBest(31, %v) = %v, want >= 0.95", p, got)
+		}
+	}
+	// And the flip side: at p just over 1/2, 32 sets are NOT enough —
+	// the curves of Figure 8 really do spread.
+	if got := PBest(31, 0.55); got > 0.95 {
+		t.Errorf("PBest(31, 0.55) = %v; Figure 8 shows slow convergence near p=0.5", got)
+	}
+}
+
+// Properties: P(Best) ∈ [min(p,1-p)... actually [0,1]], ≥ p for odd k ≥ 1
+// when p ≥ 0.5, and non-decreasing in k over odd k.
+func TestPBestProperties(t *testing.T) {
+	f := func(pRaw uint16, kRaw uint8) bool {
+		p := 0.5 + float64(pRaw%500)/1000 // [0.5, 1)
+		k := int(kRaw%40)*2 + 1           // odd 1..79
+		v := PBest(k, p)
+		if v < 0 || v > 1 {
+			return false
+		}
+		if v+1e-12 < p { // majority vote never hurts for p ≥ ½, odd k
+			return false
+		}
+		if k >= 3 && PBest(k, p)+1e-12 < PBest(k-2, p) {
+			return false // monotone in odd k
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPBestLargeKNumericallyStable(t *testing.T) {
+	if got := PBest(1001, 0.6); got < 0.999 || got > 1 || math.IsNaN(got) {
+		t.Fatalf("PBest(1001, 0.6) = %v", got)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	ks := []int{1, 3, 5}
+	c := Curve(ks, 0.7)
+	if len(c) != 3 {
+		t.Fatal("curve length")
+	}
+	for i, k := range ks {
+		if c[i] != PBest(k, 0.7) {
+			t.Fatal("curve disagrees with PBest")
+		}
+	}
+}
+
+func TestMinLeadersFor(t *testing.T) {
+	k := MinLeadersFor(0.74, 0.95, 129)
+	if k == 0 || k > 32 {
+		t.Fatalf("MinLeadersFor(0.74, 0.95) = %d, want a small odd k", k)
+	}
+	if k%2 != 1 {
+		t.Fatalf("k = %d should be odd", k)
+	}
+	if PBest(k, 0.74) < 0.95 || (k > 1 && PBest(k-2, 0.74) >= 0.95) {
+		t.Fatal("MinLeadersFor not minimal")
+	}
+	if MinLeadersFor(0.501, 0.999999, 9) != 0 {
+		t.Fatal("unreachable target should return 0")
+	}
+}
+
+func TestPBestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PBest(0, 0.5) },
+		func() { PBest(3, -0.1) },
+		func() { PBest(3, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

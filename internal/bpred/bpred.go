@@ -1,0 +1,152 @@
+// Package bpred models the baseline machine's branch direction predictor
+// (Table 2: a gshare/per-address hybrid with a selector). The simulator's
+// default front end uses oracle misprediction flags carried by the trace;
+// enabling a predictor replaces them with real predictions over the
+// branch outcomes the generators synthesize, exercising the 15-cycle
+// minimum redirect penalty from live state.
+//
+// Only direction prediction matters here: the front end stalls on a
+// predicted-wrong branch rather than fetching a wrong path (see
+// DESIGN.md on wrong-path exclusion), so no BTB is modelled.
+package bpred
+
+// Config sizes the hybrid predictor.
+type Config struct {
+	// GshareBits sizes the global-history table (2^bits 2-bit counters)
+	// and the history register.
+	GshareBits int
+	// LocalBits sizes the per-address table (2^bits 2-bit counters,
+	// indexed by branch id).
+	LocalBits int
+	// SelectorBits sizes the chooser table.
+	SelectorBits int
+}
+
+// DefaultConfig returns a scaled-down version of the paper's 64K-entry
+// structures (the synthetic workloads have few static branches, so small
+// tables behave identically while staying cache-friendly).
+func DefaultConfig() Config {
+	return Config{GshareBits: 14, LocalBits: 14, SelectorBits: 14}
+}
+
+// Stats counts predictor activity.
+type Stats struct {
+	Lookups     uint64
+	Mispredicts uint64
+	// GshareUsed counts lookups the selector routed to gshare.
+	GshareUsed uint64
+}
+
+// MispredictRate returns mispredicts over lookups.
+func (s Stats) MispredictRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Lookups)
+}
+
+// Predictor is the hybrid direction predictor.
+type Predictor struct {
+	cfg      Config
+	history  uint64
+	gshare   []uint8 // 2-bit counters
+	local    []uint8
+	selector []uint8 // 2-bit: >=2 selects gshare
+	stats    Stats
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	if cfg.GshareBits <= 0 || cfg.LocalBits <= 0 || cfg.SelectorBits <= 0 {
+		panic("bpred: table sizes must be positive")
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		gshare:   make([]uint8, 1<<cfg.GshareBits),
+		local:    make([]uint8, 1<<cfg.LocalBits),
+		selector: make([]uint8, 1<<cfg.SelectorBits),
+	}
+	// Weakly-taken initial state, like most hardware.
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.local {
+		p.local[i] = 2
+	}
+	for i := range p.selector {
+		p.selector[i] = 2
+	}
+	return p
+}
+
+// Stats returns the activity counters.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+func (p *Predictor) gIndex(id uint64) int {
+	mask := uint64(1)<<p.cfg.GshareBits - 1
+	return int((id ^ p.history) & mask)
+}
+
+func (p *Predictor) lIndex(id uint64) int {
+	return int(id & (uint64(1)<<p.cfg.LocalBits - 1))
+}
+
+func (p *Predictor) sIndex(id uint64) int {
+	return int(id & (uint64(1)<<p.cfg.SelectorBits - 1))
+}
+
+// PredictAndUpdate performs a combined lookup and resolution for a branch
+// with the given static id and actual outcome, returning whether the
+// prediction was correct. (The front end stalls on predicted-wrong
+// branches, so prediction and resolution can be folded into one step —
+// there is never a second in-flight lookup of the same history.)
+func (p *Predictor) PredictAndUpdate(id uint64, taken bool) (correct bool) {
+	p.stats.Lookups++
+	gi, li, si := p.gIndex(id), p.lIndex(id), p.sIndex(id)
+	gPred := p.gshare[gi] >= 2
+	lPred := p.local[li] >= 2
+	useG := p.selector[si] >= 2
+	pred := lPred
+	if useG {
+		pred = gPred
+		p.stats.GshareUsed++
+	}
+	correct = pred == taken
+	if !correct {
+		p.stats.Mispredicts++
+	}
+
+	// Update the chooser toward whichever component was right, when
+	// they disagreed.
+	if gPred != lPred {
+		if gPred == taken {
+			if p.selector[si] < 3 {
+				p.selector[si]++
+			}
+		} else if p.selector[si] > 0 {
+			p.selector[si]--
+		}
+	}
+	// Update both components and the global history.
+	update2bit(&p.gshare[gi], taken)
+	update2bit(&p.local[li], taken)
+	p.history = p.history<<1 | b2u(taken)
+	return correct
+}
+
+func update2bit(c *uint8, taken bool) {
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

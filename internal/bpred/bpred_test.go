@@ -1,0 +1,112 @@
+package bpred
+
+import (
+	"testing"
+
+	"mlpcache/internal/trace"
+)
+
+func TestAlwaysTakenBranchLearns(t *testing.T) {
+	p := New(DefaultConfig())
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if !p.PredictAndUpdate(7, true) {
+			wrong++
+		}
+	}
+	if wrong > 2 {
+		t.Fatalf("always-taken branch mispredicted %d times", wrong)
+	}
+}
+
+func TestAlternatingBranchIsHardForBimodal(t *testing.T) {
+	// Strict alternation defeats 2-bit counters but gshare's history
+	// captures it: after warmup the hybrid should be near-perfect.
+	p := New(DefaultConfig())
+	wrong := 0
+	for i := 0; i < 4000; i++ {
+		if !p.PredictAndUpdate(3, i%2 == 0) {
+			if i > 1000 {
+				wrong++
+			}
+		}
+	}
+	if rate := float64(wrong) / 3000; rate > 0.05 {
+		t.Fatalf("post-warmup alternation mispredict rate %.2f", rate)
+	}
+}
+
+func TestLoopBranchPattern(t *testing.T) {
+	// A loop branch taken 15 times then not taken once: history-based
+	// prediction learns the exit after warmup.
+	p := New(DefaultConfig())
+	wrong := 0
+	total := 0
+	for iter := 0; iter < 400; iter++ {
+		for i := 0; i < 16; i++ {
+			taken := i != 15
+			ok := p.PredictAndUpdate(11, taken)
+			if iter > 100 {
+				total++
+				if !ok {
+					wrong++
+				}
+			}
+		}
+	}
+	if rate := float64(wrong) / float64(total); rate > 0.10 {
+		t.Fatalf("loop pattern mispredict rate %.2f after warmup", rate)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := trace.NewRNG(5)
+	for i := 0; i < 20000; i++ {
+		p.PredictAndUpdate(9, rng.Bool(0.5))
+	}
+	rate := p.Stats().MispredictRate()
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("random branch mispredict rate %.2f, want ≈ 0.5", rate)
+	}
+}
+
+func TestDistinctBranchesDoNotDestructivelyAlias(t *testing.T) {
+	// Two branches with opposite fixed behaviour must both be learned.
+	p := New(DefaultConfig())
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		if !p.PredictAndUpdate(100, true) {
+			wrong++
+		}
+		if !p.PredictAndUpdate(200, false) {
+			wrong++
+		}
+	}
+	if wrong > 40 {
+		t.Fatalf("two fixed branches mispredicted %d times", wrong)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		p.PredictAndUpdate(1, true)
+	}
+	st := p.Stats()
+	if st.Lookups != 100 {
+		t.Fatalf("lookups = %d", st.Lookups)
+	}
+	if st.Mispredicts > st.Lookups {
+		t.Fatal("mispredicts exceed lookups")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}

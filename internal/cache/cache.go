@@ -1,0 +1,384 @@
+// Package cache implements the set-associative cache model used for every
+// tag directory in the simulator: the L1 data cache, the L2 (the paper's
+// MTD, main tag directory), and the tag-only auxiliary tag directories
+// (ATDs) that the hybrid replacement schemes shadow it with.
+//
+// The cache separates lookup (Probe) from allocation (Fill) because in the
+// timing simulator a miss is serviced hundreds of cycles after it is
+// detected, with other accesses in between. Replacement is delegated to a
+// Policy, which sees a SetView exposing per-line recency rank and the
+// paper's quantized MLP-based cost.
+package cache
+
+import "fmt"
+
+// Line is one cache block's tag-store entry.
+type Line struct {
+	// Tag identifies the block within its set (see Indexer).
+	Tag uint64
+	// Valid marks the entry as holding a block.
+	Valid bool
+	// Dirty marks the block as modified; evicting it produces a
+	// writeback.
+	Dirty bool
+	// CostQ is the 3-bit quantized MLP-based cost stored alongside the
+	// tag, written when the block's miss was serviced (paper §5).
+	CostQ uint8
+
+	lastUse  uint64 // global access sequence, for recency ranking
+	inserted uint64 // fill sequence, for FIFO
+}
+
+// Indexer maps a block number to a set index and an in-set tag. The
+// default splits the block number into low set bits and high tag bits;
+// sampled ATDs override it to place only leader sets.
+type Indexer func(block uint64) (set int, tag uint64)
+
+// Config describes a cache's geometry.
+type Config struct {
+	// SizeBytes is the total data capacity. Either SizeBytes or Sets
+	// must be given; Sets wins if both are set.
+	SizeBytes uint64
+	// Assoc is the number of ways per set.
+	Assoc int
+	// BlockBytes is the line size (64 in the baseline).
+	BlockBytes uint64
+	// Sets overrides the set count derived from SizeBytes.
+	Sets int
+	// Index overrides the default block→(set,tag) mapping. By
+	// convention a custom indexer uses the full block number as the
+	// tag (sampled ATDs do), so evicted lines can be reported without
+	// an inverse mapping.
+	Index Indexer
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%dKB %d-way %dB-line (%d sets)",
+		uint64(c.Sets)*uint64(c.Assoc)*c.BlockBytes/1024, c.Assoc, c.BlockBytes, c.Sets)
+}
+
+// Stats aggregates a cache's access counters.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Fills      uint64
+	Writebacks uint64
+}
+
+// Accesses returns hits plus misses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns misses over accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+// Cache is a set-associative tag store.
+type Cache struct {
+	cfg         Config
+	policy      Policy
+	lines       []Line // sets*assoc, set-major
+	seq         uint64
+	stats       Stats
+	customIndex bool
+}
+
+// New builds a cache. It panics on invalid geometry (a configuration
+// error, not a runtime condition).
+func New(cfg Config, policy Policy) *Cache {
+	if cfg.BlockBytes == 0 {
+		cfg.BlockBytes = 64
+	}
+	if cfg.Assoc <= 0 {
+		panic("cache: associativity must be positive")
+	}
+	if cfg.Sets == 0 {
+		if cfg.SizeBytes == 0 {
+			panic("cache: need SizeBytes or Sets")
+		}
+		cfg.Sets = int(cfg.SizeBytes / (uint64(cfg.Assoc) * cfg.BlockBytes))
+	}
+	if cfg.Sets <= 0 {
+		panic("cache: set count must be positive")
+	}
+	custom := cfg.Index != nil
+	if !custom {
+		sets := uint64(cfg.Sets)
+		cfg.Index = func(block uint64) (int, uint64) {
+			return int(block % sets), block / sets
+		}
+	}
+	if policy == nil {
+		policy = NewLRU()
+	}
+	return &Cache{
+		cfg:         cfg,
+		policy:      policy,
+		lines:       make([]Line, cfg.Sets*cfg.Assoc),
+		customIndex: custom,
+	}
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Policy returns the replacement policy in use.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// SetPolicy swaps the replacement policy (used by tests and ablations).
+func (c *Cache) SetPolicy(p Policy) { c.policy = p }
+
+// Stats returns the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// BlockOf returns the block number containing the byte address.
+func (c *Cache) BlockOf(addr uint64) uint64 { return addr / c.cfg.BlockBytes }
+
+// SetOf returns the set index a byte address maps to.
+func (c *Cache) SetOf(addr uint64) int {
+	set, _ := c.cfg.Index(c.BlockOf(addr))
+	return set
+}
+
+func (c *Cache) set(set int) []Line {
+	base := set * c.cfg.Assoc
+	return c.lines[base : base+c.cfg.Assoc]
+}
+
+func (c *Cache) find(block uint64) (set int, way int, ok bool) {
+	set, tag := c.cfg.Index(block)
+	lines := c.set(set)
+	for w := range lines {
+		if lines[w].Valid && lines[w].Tag == tag {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// Probe looks up the byte address. On a hit it updates recency (and the
+// dirty bit if write is set) and returns true. On a miss it returns false
+// and changes nothing; the caller services the miss and later calls Fill.
+func (c *Cache) Probe(addr uint64, write bool) bool {
+	set, way, ok := c.find(c.BlockOf(addr))
+	if !ok {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	c.seq++
+	ln := &c.set(set)[way]
+	ln.lastUse = c.seq
+	if write {
+		ln.Dirty = true
+	}
+	c.policy.Touched(SetView{cache: c, Index: set}, way)
+	return true
+}
+
+// Contains reports whether the block holding addr is resident, without
+// updating any replacement state.
+func (c *Cache) Contains(addr uint64) bool {
+	_, _, ok := c.find(c.BlockOf(addr))
+	return ok
+}
+
+// CostOf returns the stored quantized cost of the block holding addr; ok
+// is false if the block is not resident. Hybrid replacement uses this to
+// source the cost of ATD-only misses from the MTD tag store (paper §6.1,
+// footnote 6).
+func (c *Cache) CostOf(addr uint64) (costQ uint8, ok bool) {
+	set, way, ok := c.find(c.BlockOf(addr))
+	if !ok {
+		return 0, false
+	}
+	return c.set(set)[way].CostQ, true
+}
+
+// Evicted describes a line displaced by Fill.
+type Evicted struct {
+	Block uint64 // block number of the displaced line
+	Dirty bool   // true if the displacement produces a writeback
+	CostQ uint8
+}
+
+// Fill installs the block holding addr, evicting a victim if the set is
+// full. costQ is the quantized MLP-based cost computed while the miss was
+// in flight; dirty pre-marks the line (for write allocations). It returns
+// the displaced line, if any. Filling an already-resident block just
+// refreshes its metadata.
+func (c *Cache) Fill(addr uint64, costQ uint8, dirty bool) (Evicted, bool) {
+	block := c.BlockOf(addr)
+	set, tag := c.cfg.Index(block)
+	lines := c.set(set)
+	c.seq++
+	c.stats.Fills++
+
+	way := -1
+	for w := range lines {
+		if lines[w].Valid && lines[w].Tag == tag {
+			way = w // already resident (racing fill); refresh in place
+			break
+		}
+	}
+	if way < 0 {
+		for w := range lines {
+			if !lines[w].Valid {
+				way = w
+				break
+			}
+		}
+	}
+	var ev Evicted
+	evicted := false
+	if way < 0 {
+		way = c.policy.Victim(SetView{cache: c, Index: set})
+		if way < 0 || way >= c.cfg.Assoc {
+			panic(fmt.Sprintf("cache: policy %s returned invalid way %d", c.policy.Name(), way))
+		}
+		old := lines[way]
+		ev = Evicted{Block: c.blockFromTag(set, old.Tag), Dirty: old.Dirty, CostQ: old.CostQ}
+		evicted = true
+		if old.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	lines[way] = Line{
+		Tag:      tag,
+		Valid:    true,
+		Dirty:    dirty,
+		CostQ:    costQ,
+		lastUse:  c.seq,
+		inserted: c.seq,
+	}
+	c.policy.Filled(SetView{cache: c, Index: set}, way)
+	return ev, evicted
+}
+
+// blockFromTag reverses the default indexer; with a custom indexer the
+// tag is the full block number by convention (sampled ATDs), so it is
+// returned unchanged.
+func (c *Cache) blockFromTag(set int, tag uint64) uint64 {
+	if c.customIndex {
+		return tag
+	}
+	return tag*uint64(c.cfg.Sets) + uint64(set)
+}
+
+// MarkDirty sets the dirty bit of the block holding addr if resident,
+// without touching recency. It reports whether the block was found; the
+// simulator uses it to sink L1 writebacks into the L2.
+func (c *Cache) MarkDirty(addr uint64) bool {
+	set, way, ok := c.find(c.BlockOf(addr))
+	if !ok {
+		return false
+	}
+	c.set(set)[way].Dirty = true
+	return true
+}
+
+// Invalidate drops the block holding addr if resident, returning its
+// dirtiness.
+func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
+	set, way, ok := c.find(c.BlockOf(addr))
+	if !ok {
+		return false, false
+	}
+	ln := &c.set(set)[way]
+	dirty := ln.Dirty
+	*ln = Line{}
+	return dirty, true
+}
+
+// ResetStats zeroes the access counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// ViewSet returns a view of the given set — the same object Policy
+// implementations receive. Tools and tests use it to inspect cache
+// contents.
+func (c *Cache) ViewSet(set int) SetView {
+	if set < 0 || set >= c.cfg.Sets {
+		panic("cache: ViewSet index out of range")
+	}
+	return SetView{cache: c, Index: set}
+}
+
+// SetView gives a Policy read access to one set.
+type SetView struct {
+	cache *Cache
+	// Index is the set's index within the cache, letting set-dependent
+	// policies (SBAR leader/follower split) dispatch.
+	Index int
+}
+
+// Ways returns the associativity.
+func (v SetView) Ways() int { return v.cache.cfg.Assoc }
+
+// Line returns way w's entry by value.
+func (v SetView) Line(w int) Line { return v.cache.set(v.Index)[w] }
+
+// RecencyRank returns way w's LRU-stack position: 0 for the least
+// recently used valid line, Ways()-1 for the most recently used. Invalid
+// lines rank below all valid ones.
+func (v SetView) RecencyRank(w int) int {
+	lines := v.cache.set(v.Index)
+	me := lines[w]
+	rank := 0
+	for i := range lines {
+		if i == w {
+			continue
+		}
+		other := lines[i]
+		if !me.Valid {
+			continue // invalid lines stay at rank 0
+		}
+		if other.Valid && other.lastUse < me.lastUse {
+			rank++
+		}
+	}
+	return rank
+}
+
+// Demote moves way w to the bottom of the recency stack (LRU position),
+// as if it had not been touched since before every other valid line.
+// Insertion-policy variants (e.g. BIP) use it from their Filled hook to
+// insert at LRU instead of MRU.
+func (v SetView) Demote(w int) {
+	lines := v.cache.set(v.Index)
+	var minUse uint64
+	first := true
+	for i := range lines {
+		if i == w || !lines[i].Valid {
+			continue
+		}
+		if first || lines[i].lastUse < minUse {
+			minUse = lines[i].lastUse
+			first = false
+		}
+	}
+	if first {
+		return // only line in the set; position is moot
+	}
+	if minUse == 0 {
+		minUse = 1
+	}
+	lines[w].lastUse = minUse - 1
+}
+
+// lru returns the way with the oldest use, preferring invalid lines.
+func (v SetView) lru() int {
+	lines := v.cache.set(v.Index)
+	best := 0
+	for w := range lines {
+		if !lines[w].Valid {
+			return w
+		}
+		if lines[w].lastUse < lines[best].lastUse {
+			best = w
+		}
+	}
+	return best
+}

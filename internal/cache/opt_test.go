@@ -1,0 +1,104 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOPTKnownSequence(t *testing.T) {
+	// Classic example: 2-entry fully-associative cache.
+	// Stream: a b c a b. OPT: miss a, miss b, miss c (evict b, since a
+	// is used sooner), hit a, miss b → 4 misses. LRU: a b c(evict a)
+	// a(evict b) b(evict c) → 5 misses.
+	stream := []uint64{1, 2, 3, 1, 2}
+	opt := SimulateOPT(stream, 1, 2)
+	lru := SimulateOffline(stream, 1, 2, NewLRU())
+	if opt.Misses != 4 {
+		t.Fatalf("OPT misses = %d, want 4", opt.Misses)
+	}
+	if lru.Misses != 5 {
+		t.Fatalf("LRU misses = %d, want 5", lru.Misses)
+	}
+}
+
+func TestOPTTraceShape(t *testing.T) {
+	stream := []uint64{1, 2, 1, 3}
+	res := SimulateOPT(stream, 1, 2)
+	if len(res.Trace) != 4 || res.Accesses != 4 {
+		t.Fatalf("trace length %d, accesses %d", len(res.Trace), res.Accesses)
+	}
+	if res.Trace[0].Hit || !res.Trace[2].Hit {
+		t.Fatalf("unexpected hit pattern %+v", res.Trace)
+	}
+	if !res.Trace[3].HasVictim {
+		t.Fatal("final miss into a full set must report a victim")
+	}
+}
+
+// Property: Belady's OPT never takes more misses than LRU, FIFO, or
+// Random on any access stream (optimality against our online policies).
+func TestOPTOptimalityProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, blocksRaw, setsRaw, assocRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%800) + 20
+		blocks := int(blocksRaw%40) + 4
+		sets := 1 << (setsRaw % 3)   // 1, 2, 4
+		assoc := int(assocRaw%4) + 1 // 1..4
+		stream := make([]uint64, n)
+		for i := range stream {
+			stream[i] = uint64(r.Intn(blocks))
+		}
+		opt := SimulateOPT(stream, sets, assoc)
+		for _, p := range []Policy{NewLRU(), NewFIFO(), NewRandom(uint64(seed) | 1)} {
+			if online := SimulateOffline(stream, sets, assoc, p); opt.Misses > online.Misses {
+				t.Logf("OPT %d > %s %d (n=%d blocks=%d sets=%d assoc=%d)",
+					opt.Misses, p.Name(), online.Misses, n, blocks, sets, assoc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: miss counts cannot go below the number of distinct blocks
+// (compulsory lower bound), and OPT reaches it when everything fits.
+func TestOPTCompulsoryBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stream := make([]uint64, 200)
+		distinct := map[uint64]bool{}
+		for i := range stream {
+			stream[i] = uint64(r.Intn(8))
+			distinct[stream[i]] = true
+		}
+		res := SimulateOPT(stream, 1, 8) // everything fits
+		return res.Misses == uint64(len(distinct))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfflineMissRate(t *testing.T) {
+	res := SimulateOffline([]uint64{1, 1, 2, 2}, 1, 4, NewLRU())
+	if got := res.MissRate(); got != 0.5 {
+		t.Fatalf("MissRate = %v, want 0.5", got)
+	}
+	var empty OfflineResult
+	if empty.MissRate() != 0 {
+		t.Fatal("empty MissRate should be 0")
+	}
+}
+
+func TestOPTPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SimulateOPT([]uint64{1}, 0, 1)
+}

@@ -1,0 +1,128 @@
+package cache
+
+// Policy selects replacement victims. Implementations may keep per-set
+// state keyed by SetView.Index, but the base policies here derive
+// everything from the line metadata the cache maintains (recency and
+// insertion sequence), which keeps them trivially correct for any number
+// of sets.
+type Policy interface {
+	// Name identifies the policy in reports ("lru", "lin4", ...).
+	Name() string
+	// Victim picks the way to evict from a full set.
+	Victim(set SetView) int
+	// Touched notifies the policy of a hit on way w.
+	Touched(set SetView, w int)
+	// Filled notifies the policy of a fill into way w.
+	Filled(set SetView, w int)
+}
+
+// Base is a no-op observer mix-in for policies that need no notification
+// state of their own.
+type Base struct{}
+
+// Touched implements Policy.
+func (Base) Touched(SetView, int) {}
+
+// Filled implements Policy.
+func (Base) Filled(SetView, int) {}
+
+// LRU evicts the least recently used line — the paper's baseline policy.
+type LRU struct{ Base }
+
+// NewLRU returns the least-recently-used policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements Policy.
+func (*LRU) Name() string { return "lru" }
+
+// Victim implements Policy.
+func (*LRU) Victim(set SetView) int { return set.lru() }
+
+// FIFO evicts the line that was filled first.
+type FIFO struct{ Base }
+
+// NewFIFO returns the first-in-first-out policy.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Policy.
+func (*FIFO) Name() string { return "fifo" }
+
+// Victim implements Policy.
+func (*FIFO) Victim(set SetView) int {
+	best := 0
+	for w := 0; w < set.Ways(); w++ {
+		ln := set.Line(w)
+		if !ln.Valid {
+			return w
+		}
+		if ln.inserted < set.Line(best).inserted {
+			best = w
+		}
+	}
+	return best
+}
+
+// Random evicts a uniformly random line, using a deterministic seeded
+// generator so runs remain reproducible.
+type Random struct {
+	Base
+	state uint64
+}
+
+// NewRandom returns the random policy seeded with seed.
+func NewRandom(seed uint64) *Random {
+	return &Random{state: seed | 1}
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// Victim implements Policy.
+func (r *Random) Victim(set SetView) int {
+	for w := 0; w < set.Ways(); w++ {
+		if !set.Line(w).Valid {
+			return w
+		}
+	}
+	// xorshift64
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return int(r.state % uint64(set.Ways()))
+}
+
+// NMRU evicts the least recently used among all lines except the most
+// recently used (equivalent to LRU for 2-way caches; cheaper in hardware
+// for higher associativity). Included as an additional CARE baseline.
+type NMRU struct {
+	Base
+	state uint64
+}
+
+// NewNMRU returns the not-most-recently-used policy seeded with seed.
+func NewNMRU(seed uint64) *NMRU { return &NMRU{state: seed | 1} }
+
+// Name implements Policy.
+func (*NMRU) Name() string { return "nmru" }
+
+// Victim implements Policy.
+func (n *NMRU) Victim(set SetView) int {
+	mru, lru := 0, 0
+	for w := 0; w < set.Ways(); w++ {
+		ln := set.Line(w)
+		if !ln.Valid {
+			return w
+		}
+		if ln.lastUse > set.Line(mru).lastUse {
+			mru = w
+		}
+		if ln.lastUse < set.Line(lru).lastUse {
+			lru = w
+		}
+	}
+	if lru != mru {
+		return lru
+	}
+	// Degenerate single-way set.
+	return lru
+}

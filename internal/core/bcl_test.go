@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"mlpcache/internal/cache"
+)
+
+func TestBCLPrefersCheapWithinDepth(t *testing.T) {
+	// Fill order 0..3 → recency ranks equal way order.
+	// costs: way0 (LRU) expensive, way1 cheap → BCL(t=4, d=2) evicts way1.
+	c := buildSet(t, []uint8{7, 1, 7, 0}, NewBCL(4, 2))
+	ev, _ := c.Fill(100*64, 0, false)
+	if ev.Block != 1 {
+		t.Fatalf("BCL evicted %d, want 1 (first cheap within depth)", ev.Block)
+	}
+}
+
+func TestBCLFallsBackToLRU(t *testing.T) {
+	// Everything within depth is expensive: evict plain LRU.
+	c := buildSet(t, []uint8{7, 6, 0, 0}, NewBCL(4, 2))
+	ev, _ := c.Fill(100*64, 0, false)
+	if ev.Block != 0 {
+		t.Fatalf("BCL evicted %d, want 0 (LRU fallback)", ev.Block)
+	}
+}
+
+func TestBCLDepthOneIsLRU(t *testing.T) {
+	// depth 1 inspects only the LRU block; expensive LRU → still LRU
+	// (nothing else to choose).
+	c := buildSet(t, []uint8{7, 0, 0, 0}, NewBCL(4, 1))
+	ev, _ := c.Fill(100*64, 0, false)
+	if ev.Block != 0 {
+		t.Fatalf("BCL(d=1) evicted %d, want 0", ev.Block)
+	}
+}
+
+func TestBCLGracefulUnderAllExpensive(t *testing.T) {
+	// Unlike LIN, a set full of cost-7 blocks behaves exactly like LRU:
+	// no starvation of anything.
+	c := buildSet(t, []uint8{7, 7, 7, 7}, NewBCL(4, 4))
+	ev, _ := c.Fill(100*64, 0, false)
+	if ev.Block != 0 {
+		t.Fatalf("all-expensive set: evicted %d, want LRU (0)", ev.Block)
+	}
+}
+
+func TestBCLPanicsOnBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBCL(4, 0)
+}
+
+func TestDCLDisablesAfterLosses(t *testing.T) {
+	p := NewDCL(4, 4)
+	c := cache.New(cache.Config{Sets: 1, Assoc: 4, BlockBytes: 64}, p)
+	// Dead expensive block at LRU + cheap churn: DCL protects the dead
+	// block, which never gets re-referenced → repeated losses → the
+	// engine decays to LRU.
+	c.Fill(0, 7, false) // dead, expensive
+	c.Fill(1*64, 0, false)
+	c.Fill(2*64, 0, false)
+	c.Fill(3*64, 0, false)
+	for b := uint64(4); b < 200; b++ {
+		c.Fill(b*64, 0, false)
+	}
+	st := p.Stats()
+	if st.Protections == 0 {
+		t.Fatal("DCL never protected anything")
+	}
+	if st.Losses == 0 {
+		t.Fatal("dead-block protection should register losses")
+	}
+	// Eventually the dead block must have been evicted (LRU decay).
+	if c.Contains(0) {
+		t.Fatal("DCL kept the dead expensive block for ever")
+	}
+}
+
+func TestDCLWinsKeepItEnabled(t *testing.T) {
+	p := NewDCL(4, 4)
+	c := cache.New(cache.Config{Sets: 1, Assoc: 4, BlockBytes: 64}, p)
+	c.Fill(0, 7, false) // hot, expensive
+	c.Fill(1*64, 0, false)
+	c.Fill(2*64, 0, false)
+	c.Fill(3*64, 0, false)
+	for b := uint64(4); b < 100; b++ {
+		c.Fill(b*64, 0, false)
+		if !c.Probe(0, false) { // re-reference the protected block
+			t.Fatal("hot expensive block was evicted despite protection")
+		}
+	}
+	st := p.Stats()
+	if st.Wins == 0 {
+		t.Fatal("re-referenced protections should register wins")
+	}
+	if !p.Enabled() {
+		t.Fatal("winning protections should keep DCL enabled")
+	}
+}
+
+func TestBCLAndDCLAsSBARContestants(t *testing.T) {
+	// The CARE engines drop into SBAR's generic contestant slots.
+	mtd := cache.New(cache.Config{Sets: 64, Assoc: 4, BlockBytes: 64}, nil)
+	s := NewSBAR(mtd, SBARConfig{LeaderSets: 8, Experimental: NewBCL(4, 4)})
+	h := &sbarHarness{mtd: mtd, sbar: s}
+	for b := uint64(0); b < 5000; b++ {
+		h.access(b%600, uint8(b%8))
+	}
+	// Sanity only: the machinery must run and keep counters coherent.
+	st := s.Stats()
+	if st.LinVictims+st.LruVictims == 0 {
+		t.Fatal("no victim decisions recorded")
+	}
+}

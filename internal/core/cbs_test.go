@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"mlpcache/internal/cache"
+)
+
+type cbsHarness struct {
+	mtd *cache.Cache
+	cbs *CBS
+}
+
+func newCBSHarness(t *testing.T, cfg CBSConfig, sets, assoc int) *cbsHarness {
+	t.Helper()
+	mtd := cache.New(cache.Config{Sets: sets, Assoc: assoc, BlockBytes: 64}, nil)
+	return &cbsHarness{mtd: mtd, cbs: NewCBS(mtd, cfg)}
+}
+
+func (h *cbsHarness) access(block uint64, costQ uint8) bool {
+	addr := block * 64
+	hit := h.mtd.Probe(addr, false)
+	h.cbs.OnAccess(addr, false, hit, !hit)
+	if !hit {
+		h.mtd.Fill(addr, costQ, false)
+		h.cbs.OnFill(addr, costQ)
+	}
+	return hit
+}
+
+func TestCBSDefaults(t *testing.T) {
+	local := newCBSHarness(t, CBSConfig{Scope: CBSLocal}, 8, 2)
+	global := newCBSHarness(t, CBSConfig{Scope: CBSGlobal}, 8, 2)
+	if local.cbs.Psel(0).Max() != 63 {
+		t.Fatalf("local PSEL max = %d, want 63 (6-bit)", local.cbs.Psel(0).Max())
+	}
+	if global.cbs.Psel(0).Max() != 127 {
+		t.Fatalf("global PSEL max = %d, want 127 (7-bit per the paper)", global.cbs.Psel(0).Max())
+	}
+	if local.cbs.Psel(0) == local.cbs.Psel(1) {
+		t.Fatal("CBS-local must keep per-set counters")
+	}
+	if global.cbs.Psel(0) != global.cbs.Psel(7) {
+		t.Fatal("CBS-global must share one counter")
+	}
+}
+
+func TestCBSFigure6Rules(t *testing.T) {
+	// Build divergence between ATD-LIN and ATD-LRU in set 0 of a 2-way
+	// cache: fill a protected (cost 7) block and a cheap one, then a
+	// third block — ATD-LIN keeps the expensive block, ATD-LRU keeps
+	// recency order.
+	h := newCBSHarness(t, CBSConfig{Scope: CBSGlobal}, 4, 2)
+	start := h.cbs.Psel(0).Value()
+	h.access(0, 7) // set 0
+	h.access(4, 1)
+	h.access(8, 1) // ATD-LIN evicts 4; ATD-LRU evicts 0
+	if h.cbs.Psel(0).Value() != start {
+		t.Fatal("ties and both-miss cases must not move PSEL")
+	}
+	// Access 0: ATD-LIN hit, ATD-LRU miss → +cost. MTD hit or miss
+	// depends on the selected policy; either way the sign is up.
+	h.access(0, 6)
+	afterUp := h.cbs.Psel(0).Value()
+	if afterUp <= start {
+		t.Fatalf("PSEL %d → %d; want increment on LIN-wins contest", start, afterUp)
+	}
+	st := h.cbs.Stats()
+	if st.PselIncrements != 1 {
+		t.Fatalf("increments = %d, want 1", st.PselIncrements)
+	}
+}
+
+func TestCBSDecrementOnLRUWin(t *testing.T) {
+	h := newCBSHarness(t, CBSConfig{Scope: CBSGlobal}, 4, 2)
+	h.access(0, 7)
+	h.access(4, 1)
+	h.access(8, 1) // ATD-LIN: {0,8}; ATD-LRU: {4,8}
+	start := h.cbs.Psel(0).Value()
+	// Access 4: ATD-LIN miss, ATD-LRU hit → −cost (the serviced cost 3).
+	h.access(4, 3)
+	if got := h.cbs.Psel(0).Value(); got != start-3 {
+		t.Fatalf("PSEL = %d, want %d", got, start-3)
+	}
+	if h.cbs.Stats().PselDecrements != 1 {
+		t.Fatalf("decrements = %d, want 1", h.cbs.Stats().PselDecrements)
+	}
+}
+
+func TestCBSLocalIsolatesSets(t *testing.T) {
+	h := newCBSHarness(t, CBSConfig{Scope: CBSLocal}, 4, 2)
+	// Create an LRU-wins contest in set 1 only.
+	h.access(1, 7)
+	h.access(5, 1)
+	h.access(9, 1)
+	h.access(5, 3) // ATD-LIN miss, ATD-LRU hit in set 1
+	if h.cbs.Psel(1).Value() >= h.cbs.Psel(1).Max()/2+1 {
+		t.Fatalf("set 1 PSEL should have moved down, got %d", h.cbs.Psel(1).Value())
+	}
+	if h.cbs.Psel(0).Value() != (h.cbs.Psel(0).Max()+1)/2 {
+		t.Fatal("set 0 PSEL moved without any contest in set 0")
+	}
+}
+
+func TestCBSVictimFollowsSelectedPolicy(t *testing.T) {
+	// With PSEL forced low, MTD replaces with LRU; forced high, LIN.
+	h := newCBSHarness(t, CBSConfig{Scope: CBSGlobal}, 4, 2)
+	h.cbs.Psel(0).Add(-1000)
+	h.access(0, 7)
+	h.access(4, 1)
+	h.access(8, 1)
+	if h.mtd.Contains(0 * 64) {
+		t.Fatal("under LRU selection, the oldest block must be evicted")
+	}
+
+	h2 := newCBSHarness(t, CBSConfig{Scope: CBSGlobal}, 4, 2)
+	h2.cbs.Psel(0).Add(+1000)
+	h2.access(0, 7)
+	h2.access(4, 1)
+	h2.access(8, 1)
+	if !h2.mtd.Contains(0 * 64) {
+		t.Fatal("under LIN selection, the cost-7 block must be protected")
+	}
+	if !h2.cbs.UsingLIN(0) {
+		t.Fatal("UsingLIN should report the selection")
+	}
+}
+
+func TestCBSName(t *testing.T) {
+	h := newCBSHarness(t, CBSConfig{Scope: CBSLocal}, 4, 2)
+	if h.cbs.Name() == "" {
+		t.Fatal("empty name")
+	}
+	h.cbs.AdvanceEpoch() // must be a no-op
+}
+
+func TestOverheadMatchesPaper(t *testing.T) {
+	p := DefaultOverheadParams()
+	o := ComputeOverhead(p)
+	// The paper reports 1854 B for SBAR; the model must land within 1%.
+	got := o.SBARBytes()
+	if got < 1836 || got > 1873 {
+		t.Fatalf("SBAR overhead %d B, want within 1%% of the paper's 1854 B", got)
+	}
+	// And under 0.2% of the 1 MB cache, as the abstract claims.
+	if frac := SBARFractionOfCache(p); frac >= 0.002 {
+		t.Fatalf("SBAR fraction %.4f, want < 0.002", frac)
+	}
+}
+
+func TestOverheadComponents(t *testing.T) {
+	p := DefaultOverheadParams()
+	o := ComputeOverhead(p)
+	if o.CCLBits != 32*10 {
+		t.Fatalf("CCL bits = %d, want 320", o.CCLBits)
+	}
+	if o.CostQBitsTotal != 1024*16*3 {
+		t.Fatalf("cost_q bits = %d", o.CostQBitsTotal)
+	}
+	// SBAR needs dramatically less storage than either CBS variant
+	// (the paper quotes a 64× ATD-entry reduction for K=32... 32× sets).
+	if o.SBARBits*20 > o.CBSGlobalBits {
+		t.Fatalf("SBAR (%d bits) not far smaller than CBS-global (%d bits)",
+			o.SBARBits, o.CBSGlobalBits)
+	}
+	if o.CBSLocalBits <= o.CBSGlobalBits {
+		t.Fatal("CBS-local must cost more than CBS-global (per-set PSELs)")
+	}
+}

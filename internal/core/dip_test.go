@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"mlpcache/internal/cache"
+)
+
+func TestBIPInsertsAtLRUMostly(t *testing.T) {
+	// With epsilonInv huge, every fill lands at LRU: a cyclic working
+	// set one block larger than the cache thrashes completely under
+	// LRU, but under LIP-like insertion the incumbent blocks survive.
+	lru := cache.New(cache.Config{Sets: 1, Assoc: 4, BlockBytes: 64}, cache.NewLRU())
+	bip := cache.New(cache.Config{Sets: 1, Assoc: 4, BlockBytes: 64}, NewBIP(1<<30, 1))
+	miss := func(c *cache.Cache) (misses int) {
+		for lap := 0; lap < 20; lap++ {
+			for b := uint64(0); b < 5; b++ {
+				if !c.Probe(b*64, false) {
+					misses++
+					c.Fill(b*64, 0, false)
+				}
+			}
+		}
+		return
+	}
+	mLRU, mBIP := miss(lru), miss(bip)
+	if mLRU != 100 {
+		t.Fatalf("cyclic set must fully thrash LRU: %d misses, want 100", mLRU)
+	}
+	if mBIP >= mLRU/2 {
+		t.Fatalf("LRU-insertion should filter the thrash: %d misses vs LRU's %d", mBIP, mLRU)
+	}
+}
+
+func TestBIPBimodalTrickle(t *testing.T) {
+	// With epsilonInv = 2, about half the fills promote to MRU.
+	p := NewBIP(2, 7)
+	c := cache.New(cache.Config{Sets: 1, Assoc: 8, BlockBytes: 64}, p)
+	mru := 0
+	const fills = 2000
+	for b := uint64(0); b < fills; b++ {
+		c.Fill(b*64, 0, false)
+		// Find the just-filled block's recency rank.
+		for w := 0; w < 8; w++ {
+			ln, _ := lineOf(c, b*64)
+			_ = ln
+			break
+		}
+		if rankOf(c, b*64) == 7 {
+			mru++
+		}
+	}
+	frac := float64(mru) / fills
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("MRU-insertion fraction %.2f, want ≈ 0.5", frac)
+	}
+}
+
+// rankOf returns the recency rank of the block holding addr (test helper
+// over the package-internal SetView).
+func rankOf(c *cache.Cache, addr uint64) int {
+	set := c.SetOf(addr)
+	v := c.ViewSet(set)
+	for w := 0; w < v.Ways(); w++ {
+		ln := v.Line(w)
+		if ln.Valid && c.Contains(addr) {
+			// Identify the way by probing cost: instead compare tags
+			// via CostOf trick — simpler: find way whose tag matches.
+			if tagMatches(c, set, w, addr) {
+				return v.RecencyRank(w)
+			}
+		}
+	}
+	return -1
+}
+
+func tagMatches(c *cache.Cache, set, w int, addr uint64) bool {
+	v := c.ViewSet(set)
+	// The default indexer tags by block / sets.
+	tag := c.BlockOf(addr) / uint64(c.Config().Sets)
+	return v.Line(w).Valid && v.Line(w).Tag == tag
+}
+
+func lineOf(c *cache.Cache, addr uint64) (cache.Line, bool) {
+	set := c.SetOf(addr)
+	v := c.ViewSet(set)
+	for w := 0; w < v.Ways(); w++ {
+		if tagMatches(c, set, w, addr) {
+			return v.Line(w), true
+		}
+	}
+	return cache.Line{}, false
+}
+
+func TestDIPFiltersThrashViaDueling(t *testing.T) {
+	// A cyclic working set slightly larger than the cache: LRU misses
+	// everything; DIP's dueling should detect BIP's advantage and cut
+	// misses substantially.
+	run := func(dip bool) uint64 {
+		mtd := cache.New(cache.Config{Sets: 64, Assoc: 4, BlockBytes: 64}, nil)
+		var s *SBAR
+		if dip {
+			s = NewDIP(mtd, 8, 3)
+		}
+		for lap := 0; lap < 40; lap++ {
+			for b := uint64(0); b < 320; b++ { // 5 blocks/set vs 4 ways: all sets thrash
+				addr := b * 64
+				hit := mtd.Probe(addr, false)
+				if s != nil {
+					s.OnAccess(addr, false, hit, !hit)
+				}
+				if !hit {
+					// Constant costQ 1: the duel counts misses.
+					mtd.Fill(addr, 1, false)
+					if s != nil {
+						s.OnFill(addr, 1)
+					}
+				}
+			}
+		}
+		return mtd.Stats().Misses
+	}
+	lruMisses, dipMisses := run(false), run(true)
+	if lruMisses != 40*320 {
+		t.Fatalf("LRU should fully thrash: %d misses", lruMisses)
+	}
+	if dipMisses*10 > lruMisses*9 {
+		t.Fatalf("DIP misses %d vs LRU %d: dueling never engaged", dipMisses, lruMisses)
+	}
+}
+
+func TestBIPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBIP(0, 1)
+}

@@ -1,0 +1,112 @@
+package core
+
+import "mlpcache/internal/trace"
+
+// LeaderSelector decides which cache sets are SBAR leader sets. The cache
+// is logically divided into K equal constituencies of N/K consecutive
+// sets; one leader is drawn from each (Section 6.4).
+type LeaderSelector interface {
+	// Name identifies the selection policy ("simple-static",
+	// "rand-dynamic").
+	Name() string
+	// K returns the number of leader sets.
+	K() int
+	// Slot returns the leader slot index (0..K-1) for a set, and whether
+	// the set is currently a leader.
+	Slot(set int) (slot int, leader bool)
+	// Reselect re-draws the leaders, returning true if they changed.
+	// Static policies return false and do nothing.
+	Reselect() bool
+}
+
+// simpleStatic implements the paper's simple-static policy: set 0 from
+// constituency 0, set 1 from constituency 1, and so on (sets 0, 33, 66,
+// ... for K=32, N=1024), so leaders are identified by comparing index bit
+// fields with no storage.
+type simpleStatic struct {
+	sets, k, constituency int
+}
+
+// NewSimpleStatic returns the simple-static selector for a cache with the
+// given number of sets and k leader sets. k must divide sets.
+func NewSimpleStatic(sets, k int) LeaderSelector {
+	validateLeaderGeometry(sets, k)
+	return &simpleStatic{sets: sets, k: k, constituency: sets / k}
+}
+
+func (s *simpleStatic) Name() string { return "simple-static" }
+func (s *simpleStatic) K() int       { return s.k }
+
+func (s *simpleStatic) Slot(set int) (int, bool) {
+	c := set / s.constituency
+	// Leader of constituency c sits at offset c within it (offset wraps
+	// if K exceeds the constituency size).
+	if set%s.constituency == c%s.constituency {
+		return c, true
+	}
+	return 0, false
+}
+
+func (s *simpleStatic) Reselect() bool { return false }
+
+// randDynamic implements the rand-dynamic policy: one uniformly random
+// leader per constituency, re-drawn every epoch (the paper re-invokes it
+// every 25M instructions).
+type randDynamic struct {
+	sets, k, constituency int
+	rng                   *trace.RNG
+	offsets               []int // leader offset within each constituency
+}
+
+// NewRandDynamic returns the rand-dynamic selector seeded with seed.
+func NewRandDynamic(sets, k int, seed uint64) LeaderSelector {
+	validateLeaderGeometry(sets, k)
+	r := &randDynamic{
+		sets: sets, k: k, constituency: sets / k,
+		rng:     trace.NewRNG(seed),
+		offsets: make([]int, k),
+	}
+	r.draw()
+	return r
+}
+
+func (r *randDynamic) Name() string { return "rand-dynamic" }
+func (r *randDynamic) K() int       { return r.k }
+
+func (r *randDynamic) draw() {
+	for i := range r.offsets {
+		r.offsets[i] = r.rng.Intn(r.constituency)
+	}
+}
+
+func (r *randDynamic) Slot(set int) (int, bool) {
+	c := set / r.constituency
+	if set%r.constituency == r.offsets[c] {
+		return c, true
+	}
+	return 0, false
+}
+
+func (r *randDynamic) Reselect() bool {
+	old := make([]int, len(r.offsets))
+	copy(old, r.offsets)
+	r.draw()
+	for i := range old {
+		if old[i] != r.offsets[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func validateLeaderGeometry(sets, k int) {
+	if sets <= 0 || k <= 0 {
+		panic("core: sets and k must be positive")
+	}
+	if k > sets {
+		panic("core: more leader sets than sets")
+	}
+	if sets%k != 0 {
+		panic("core: leader count must divide set count")
+	}
+}

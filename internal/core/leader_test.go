@@ -1,0 +1,100 @@
+package core
+
+import "testing"
+
+func TestSimpleStaticPaperPositions(t *testing.T) {
+	// K=32, N=1024: the paper's example — sets 0, 33, 66, 99, ... 1023.
+	sel := NewSimpleStatic(1024, 32)
+	if sel.Name() != "simple-static" || sel.K() != 32 {
+		t.Fatalf("metadata wrong: %s/%d", sel.Name(), sel.K())
+	}
+	leaders := []int{}
+	for s := 0; s < 1024; s++ {
+		if slot, ok := sel.Slot(s); ok {
+			if want := slot*32 + slot; s != want {
+				t.Fatalf("leader %d at set %d, want %d", slot, s, want)
+			}
+			leaders = append(leaders, s)
+		}
+	}
+	if len(leaders) != 32 {
+		t.Fatalf("%d leaders, want 32", len(leaders))
+	}
+	if leaders[0] != 0 || leaders[1] != 33 || leaders[2] != 66 || leaders[31] != 1023 {
+		t.Fatalf("leaders %v do not match the paper's 0,33,66,...,1023", leaders[:3])
+	}
+}
+
+func TestSimpleStaticOnePerConstituency(t *testing.T) {
+	for _, k := range []int{8, 16, 32, 64} {
+		sel := NewSimpleStatic(1024, k)
+		constituency := 1024 / k
+		for c := 0; c < k; c++ {
+			found := 0
+			for s := c * constituency; s < (c+1)*constituency; s++ {
+				if slot, ok := sel.Slot(s); ok {
+					if slot != c {
+						t.Fatalf("k=%d set %d slot %d, want %d", k, s, slot, c)
+					}
+					found++
+				}
+			}
+			if found != 1 {
+				t.Fatalf("k=%d constituency %d has %d leaders", k, c, found)
+			}
+		}
+		if sel.Reselect() {
+			t.Fatal("simple-static must never reselect")
+		}
+	}
+}
+
+func TestRandDynamicValidity(t *testing.T) {
+	sel := NewRandDynamic(1024, 32, 9)
+	if sel.Name() != "rand-dynamic" {
+		t.Fatalf("Name = %q", sel.Name())
+	}
+	countPerConstituency := func() {
+		t.Helper()
+		for c := 0; c < 32; c++ {
+			found := 0
+			for s := c * 32; s < (c+1)*32; s++ {
+				if slot, ok := sel.Slot(s); ok {
+					if slot != c {
+						t.Fatalf("set %d slot %d, want %d", s, slot, c)
+					}
+					found++
+				}
+			}
+			if found != 1 {
+				t.Fatalf("constituency %d has %d leaders", c, found)
+			}
+		}
+	}
+	countPerConstituency()
+	// Reselecting must eventually change the map and keep it valid.
+	changed := false
+	for i := 0; i < 5; i++ {
+		if sel.Reselect() {
+			changed = true
+		}
+		countPerConstituency()
+	}
+	if !changed {
+		t.Fatal("rand-dynamic never changed its leaders across 5 reselects")
+	}
+}
+
+func TestLeaderGeometryValidation(t *testing.T) {
+	bad := [][2]int{{0, 1}, {8, 0}, {8, 16}, {10, 3}}
+	for _, c := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("sets=%d k=%d should panic", c[0], c[1])
+				}
+			}()
+			NewSimpleStatic(c[0], c[1])
+		}()
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"mlpcache/internal/cache"
+)
+
+// CostAware is the cost-aware replacement engine (the paper's CARE): any
+// victim-selection function over a line's LRU-stack position R and its
+// stored quantized cost. Lower score evicts first; ties break toward the
+// smaller recency value, exactly as the LIN policy specifies.
+type CostAware struct {
+	cache.Base
+	name  string
+	score func(recency, costQ int) int
+}
+
+// NewCostAware builds a CARE policy from an arbitrary score function.
+func NewCostAware(name string, score func(recency, costQ int) int) *CostAware {
+	if score == nil {
+		panic("core: NewCostAware needs a score function")
+	}
+	return &CostAware{name: name, score: score}
+}
+
+// NewLIN returns the paper's Linear policy with the given λ:
+//
+//	Victim_LIN = argmin_i { R(i) + λ·cost_q(i) }
+//
+// λ=0 degenerates to LRU; the paper's default is λ=4.
+func NewLIN(lambda int) *CostAware {
+	if lambda < 0 {
+		panic("core: LIN lambda must be non-negative")
+	}
+	return NewCostAware(fmt.Sprintf("lin%d", lambda), func(r, c int) int {
+		return r + lambda*c
+	})
+}
+
+// Name implements cache.Policy.
+func (p *CostAware) Name() string { return p.name }
+
+// Victim implements cache.Policy. Invalid lines win immediately; among
+// valid lines the minimum score wins, ties broken by smaller recency.
+func (p *CostAware) Victim(set cache.SetView) int {
+	best := -1
+	bestScore, bestRecency := 0, 0
+	for w := 0; w < set.Ways(); w++ {
+		ln := set.Line(w)
+		if !ln.Valid {
+			return w
+		}
+		r := set.RecencyRank(w)
+		s := p.score(r, int(ln.CostQ))
+		if best < 0 || s < bestScore || (s == bestScore && r < bestRecency) {
+			best, bestScore, bestRecency = w, s, r
+		}
+	}
+	return best
+}

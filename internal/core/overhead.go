@@ -1,0 +1,90 @@
+package core
+
+import "math/bits"
+
+// Hardware storage-overhead model (Sections 1.2 and 6.4: SBAR costs
+// 1854 B, under 0.2% of the baseline 1 MB cache). The model counts every
+// bit of state each mechanism adds over a plain LRU cache, under explicit
+// assumptions so the arithmetic is auditable.
+
+// OverheadParams describes the machine the overhead is computed for.
+type OverheadParams struct {
+	PhysAddrBits int // physical address width (40 assumed)
+	BlockBytes   uint64
+	Sets         int // main cache sets
+	Assoc        int
+	MSHREntries  int
+	CostRegBits  int // width of each MSHR mlp_cost register (10 here: saturates at 1023 cycles)
+	LeaderSets   int // SBAR K
+	PselBits     int
+}
+
+// DefaultOverheadParams returns the baseline machine's parameters
+// (Table 2 geometry, 40-bit physical addresses).
+func DefaultOverheadParams() OverheadParams {
+	return OverheadParams{
+		PhysAddrBits: 40,
+		BlockBytes:   64,
+		Sets:         1024,
+		Assoc:        16,
+		MSHREntries:  32,
+		CostRegBits:  10,
+		LeaderSets:   32,
+		PselBits:     6,
+	}
+}
+
+// Overhead reports the added storage of each mechanism, in bits.
+type Overhead struct {
+	// CCLBits is the cost-calculation logic's state: one mlp_cost
+	// register per MSHR entry (the four shared adders are logic, not
+	// storage).
+	CCLBits int
+	// CostQBitsTotal is the 3-bit quantized cost added to every main
+	// tag-store entry, required by any MLP-aware policy (LIN).
+	CostQBitsTotal int
+	// SBARBits is the sampling machinery: the leader-set-only ATD plus
+	// the PSEL counter. Simple-static leader selection needs no storage
+	// (an index-bit comparison identifies leaders).
+	SBARBits int
+	// CBSLocalBits and CBSGlobalBits are the corresponding costs of the
+	// non-sampled hybrids: two full ATDs plus per-set or single PSELs.
+	CBSLocalBits  int
+	CBSGlobalBits int
+}
+
+// atdEntryBits is the size of one auxiliary-tag-directory entry: tag,
+// valid bit, and LRU recency bits for the set's associativity.
+func atdEntryBits(p OverheadParams) int {
+	offsetBits := bits.Len64(p.BlockBytes - 1)
+	indexBits := bits.Len(uint(p.Sets) - 1)
+	tagBits := p.PhysAddrBits - offsetBits - indexBits
+	lruBits := bits.Len(uint(p.Assoc) - 1)
+	return tagBits + 1 + lruBits
+}
+
+// ComputeOverhead evaluates the model.
+func ComputeOverhead(p OverheadParams) Overhead {
+	entry := atdEntryBits(p)
+	fullATD := p.Sets * p.Assoc * entry
+	sampledATD := p.LeaderSets * p.Assoc * entry
+	return Overhead{
+		CCLBits:        p.MSHREntries * p.CostRegBits,
+		CostQBitsTotal: p.Sets * p.Assoc * CostQBits,
+		SBARBits:       sampledATD + p.PselBits,
+		CBSLocalBits:   2*fullATD + p.Sets*p.PselBits,
+		CBSGlobalBits:  2*fullATD + 7, // the paper uses a 7-bit global PSEL
+	}
+}
+
+// SBARBytes returns the SBAR overhead rounded up to whole bytes — the
+// number the paper reports as 1854 B.
+func (o Overhead) SBARBytes() int { return (o.SBARBits + 7) / 8 }
+
+// SBARFractionOfCache returns SBAR's overhead as a fraction of the data
+// capacity of the cache described by p.
+func SBARFractionOfCache(p OverheadParams) float64 {
+	o := ComputeOverhead(p)
+	capacityBits := float64(uint64(p.Sets)*uint64(p.Assoc)*p.BlockBytes) * 8
+	return float64(o.SBARBits) / capacityBits
+}

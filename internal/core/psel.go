@@ -1,0 +1,49 @@
+package core
+
+// PSEL is the policy-selector saturating counter of Section 6.1. It is
+// incremented when the MLP-aware contestant is doing better and
+// decremented when the traditional contestant is, each time by the
+// quantized cost of the losing side's miss, so selection follows the
+// cumulative MLP-based cost (stall cycles) rather than raw miss counts.
+// The most significant bit is the decision output: set means "use LIN".
+type PSEL struct {
+	value int
+	max   int
+	mid   int
+}
+
+// NewPSEL returns a saturating counter of the given bit width (6 in the
+// SBAR baseline, 7 for CBS-global), initialized to its midpoint so
+// neither policy starts favoured.
+func NewPSEL(bits int) *PSEL {
+	if bits < 1 || bits > 30 {
+		panic("core: PSEL bits out of range")
+	}
+	max := 1<<bits - 1
+	return &PSEL{value: (max + 1) / 2, max: max, mid: (max + 1) / 2}
+}
+
+// Add applies a signed delta with saturating arithmetic.
+func (p *PSEL) Add(delta int) {
+	v := p.value + delta
+	if v < 0 {
+		v = 0
+	}
+	if v > p.max {
+		v = p.max
+	}
+	p.value = v
+}
+
+// MSB reports the counter's most significant bit: true selects the
+// MLP-aware (LIN) policy.
+func (p *PSEL) MSB() bool { return p.value >= p.mid }
+
+// Value returns the current counter value (for tests and telemetry).
+func (p *PSEL) Value() int { return p.value }
+
+// Max returns the saturation ceiling.
+func (p *PSEL) Max() int { return p.max }
+
+// Reset returns the counter to its midpoint.
+func (p *PSEL) Reset() { p.value = p.mid }

@@ -1,0 +1,58 @@
+// Package core implements the paper's contribution: MLP-aware cache
+// replacement. It provides the cost quantizer (Figure 3b), the Linear
+// (LIN) replacement policy and the generic cost-aware replacement engine
+// it instantiates (Section 5), the PSEL saturating selector counter, the
+// Contest Based Selection hybrids CBS-local and CBS-global (Section 6.1),
+// Sampling Based Adaptive Replacement (Section 6.4) with both leader-set
+// selection policies, and the hardware storage-overhead model behind the
+// paper's 1854-byte claim.
+//
+// The run-time computation of the MLP-based cost itself (Algorithm 1)
+// lives with the miss status holding registers in internal/mshr, since
+// that is the hardware structure that tracks in-flight misses; this
+// package consumes the resulting cost values.
+package core
+
+// CostQBits is the width of the quantized MLP-based cost stored in each
+// tag entry (Figure 3b uses 3 bits).
+const CostQBits = 3
+
+// CostQMax is the largest quantized cost value.
+const CostQMax = 1<<CostQBits - 1
+
+// QuantizeStep is the width in cycles of each quantization interval.
+const QuantizeStep = 60
+
+// Quantize converts an MLP-based cost in cycles to the 3-bit quantized
+// value of Figure 3b: 0-59 cycles → 0, 60-119 → 1, ..., 360-419 → 6,
+// 420 and above → 7.
+func Quantize(mlpCost float64) uint8 {
+	if mlpCost <= 0 {
+		return 0
+	}
+	q := int(mlpCost / QuantizeStep)
+	if q > CostQMax {
+		q = CostQMax
+	}
+	return uint8(q)
+}
+
+// QuantizeWith generalizes Quantize to an arbitrary bit width, used by the
+// quantization-granularity ablation. bits must be in [1, 8].
+func QuantizeWith(mlpCost float64, bits int) uint8 {
+	if bits < 1 || bits > 8 {
+		panic("core: QuantizeWith bits out of range")
+	}
+	if mlpCost <= 0 {
+		return 0
+	}
+	max := 1<<bits - 1
+	// Keep the full-scale point aligned with the 3-bit scheme: the top
+	// code still means "at or above 420 cycles".
+	step := float64(QuantizeStep*8) / float64(max+1)
+	q := int(mlpCost / step)
+	if q > max {
+		q = max
+	}
+	return uint8(q)
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeFigure3b(t *testing.T) {
+	// The exact table of Figure 3(b).
+	cases := []struct {
+		cost float64
+		want uint8
+	}{
+		{0, 0}, {59, 0}, {60, 1}, {119, 1}, {120, 2}, {179, 2},
+		{180, 3}, {239, 3}, {240, 4}, {299, 4}, {300, 5}, {359, 5},
+		{360, 6}, {419, 6}, {420, 7}, {444, 7}, {10000, 7},
+	}
+	for _, c := range cases {
+		if got := Quantize(c.cost); got != c.want {
+			t.Errorf("Quantize(%v) = %d, want %d", c.cost, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeNegativeClamps(t *testing.T) {
+	if Quantize(-5) != 0 {
+		t.Fatal("negative cost should quantize to 0")
+	}
+}
+
+// Properties: Quantize is monotone and stays within [0, CostQMax].
+func TestQuantizeProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		qa, qb := Quantize(a), Quantize(b)
+		if qa > CostQMax || qb > CostQMax {
+			return false
+		}
+		if a <= b && qa > qb {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeWith(t *testing.T) {
+	// 3-bit QuantizeWith must agree with Quantize.
+	for _, cost := range []float64{0, 30, 60, 200, 419, 420, 1000} {
+		if QuantizeWith(cost, 3) != Quantize(cost) {
+			t.Fatalf("QuantizeWith(%v, 3) != Quantize", cost)
+		}
+	}
+	// Full-scale alignment: the top code means ≥420 cycles at any width.
+	for bits := 1; bits <= 8; bits++ {
+		max := uint8(1<<bits - 1)
+		if got := QuantizeWith(1e6, bits); got != max {
+			t.Fatalf("QuantizeWith(1e6, %d) = %d, want %d", bits, got, max)
+		}
+		if got := QuantizeWith(0, bits); got != 0 {
+			t.Fatalf("QuantizeWith(0, %d) = %d, want 0", bits, got)
+		}
+	}
+}
+
+func TestQuantizeWithPanicsOnBadBits(t *testing.T) {
+	for _, bits := range []int{0, 9, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bits=%d should panic", bits)
+				}
+			}()
+			QuantizeWith(100, bits)
+		}()
+	}
+}
+
+func TestPSELBasics(t *testing.T) {
+	p := NewPSEL(6)
+	if p.Max() != 63 {
+		t.Fatalf("Max = %d, want 63", p.Max())
+	}
+	if p.Value() != 32 || !p.MSB() {
+		t.Fatalf("midpoint init: value=%d msb=%v", p.Value(), p.MSB())
+	}
+	p.Add(-1)
+	if p.MSB() {
+		t.Fatal("MSB should clear below midpoint")
+	}
+	p.Reset()
+	if p.Value() != 32 {
+		t.Fatal("Reset should return to midpoint")
+	}
+}
+
+// Property: PSEL saturates within [0, max] under arbitrary updates.
+func TestPSELSaturationProperty(t *testing.T) {
+	f := func(deltas []int8) bool {
+		p := NewPSEL(6)
+		for _, d := range deltas {
+			p.Add(int(d))
+			if p.Value() < 0 || p.Value() > 63 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSELSaturatesAtExtremes(t *testing.T) {
+	p := NewPSEL(6)
+	p.Add(1000)
+	if p.Value() != 63 {
+		t.Fatalf("saturated high at %d, want 63", p.Value())
+	}
+	p.Add(-10000)
+	if p.Value() != 0 {
+		t.Fatalf("saturated low at %d, want 0", p.Value())
+	}
+}
+
+func TestPSELPanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPSEL(0)
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"mlpcache/internal/cache"
+)
+
+// SBARConfig parameterizes Sampling Based Adaptive Replacement.
+type SBARConfig struct {
+	// LeaderSets is K, the number of leader sets (32 in the paper's
+	// default).
+	LeaderSets int
+	// PselBits sizes the selector counter (6 in the paper's default).
+	PselBits int
+	// Lambda is the λ of the LIN contestant (4 by default).
+	Lambda int
+	// Selector overrides the leader-set selection policy; nil uses
+	// simple-static over the MTD geometry.
+	Selector LeaderSelector
+	// Experimental and Baseline override the two contestant policies.
+	// The paper instantiates SBAR with LIN(λ) versus LRU, but the
+	// mechanism is generic: any policy pair can race (Section 6 notes
+	// the approach applies to hybrid replacement in general). Defaults:
+	// LIN(Lambda) and LRU.
+	Experimental cache.Policy
+	Baseline     cache.Policy
+}
+
+func (c *SBARConfig) setDefaults(sets int) {
+	if c.LeaderSets == 0 {
+		c.LeaderSets = 32
+	}
+	if c.PselBits == 0 {
+		c.PselBits = 6
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 4
+	}
+	if c.Selector == nil {
+		c.Selector = NewSimpleStatic(sets, c.LeaderSets)
+	}
+}
+
+// SBAR implements Sampling Based Adaptive Replacement (Section 6.4).
+//
+// The main tag directory's sets are split into leader sets and follower
+// sets. Leader sets always replace with LIN and, together with a single
+// tag-only ATD that mirrors just the leader sets under LRU, update the
+// PSEL counter: a leader-set (LIN) miss that the ATD (LRU) would have hit
+// decrements PSEL by the miss's quantized cost, and a leader-set hit the
+// ATD would have missed increments it. Follower sets obey PSEL's MSB.
+type SBAR struct {
+	mtd     *cache.Cache
+	atd     *cache.Cache
+	psel    *PSEL
+	sel     LeaderSelector
+	lin     cache.Policy
+	lru     cache.Policy
+	cfg     SBARConfig
+	pending map[uint64]sbarPending
+	stats   HybridStats
+}
+
+type sbarPending struct {
+	decrement bool // ATD-LRU hit while the leader (LIN) set missed
+	fillATD   bool // both missed: fill the ATD when the cost is known
+}
+
+// NewSBAR builds the SBAR engine shadowing mtd and installs itself as
+// mtd's replacement policy.
+func NewSBAR(mtd *cache.Cache, cfg SBARConfig) *SBAR {
+	mcfg := mtd.Config()
+	cfg.setDefaults(mcfg.Sets)
+	if cfg.Selector.K() != cfg.LeaderSets {
+		panic("core: SBAR selector disagrees with LeaderSets")
+	}
+	if cfg.Experimental == nil {
+		cfg.Experimental = NewLIN(cfg.Lambda)
+	}
+	if cfg.Baseline == nil {
+		cfg.Baseline = cache.NewLRU()
+	}
+	s := &SBAR{
+		mtd:     mtd,
+		psel:    NewPSEL(cfg.PselBits),
+		sel:     cfg.Selector,
+		lin:     cfg.Experimental,
+		lru:     cfg.Baseline,
+		cfg:     cfg,
+		pending: make(map[uint64]sbarPending),
+	}
+	s.atd = s.newATD()
+	mtd.SetPolicy(s)
+	return s
+}
+
+// newATD builds the tag-only auxiliary directory covering just the leader
+// sets: K sets of the MTD's associativity, indexed by routing each leader
+// block to its leader's slot, with the full block number as tag.
+func (s *SBAR) newATD() *cache.Cache {
+	mcfg := s.mtd.Config()
+	sets := uint64(mcfg.Sets)
+	sel := s.sel
+	return cache.New(cache.Config{
+		Sets:       s.cfg.LeaderSets,
+		Assoc:      mcfg.Assoc,
+		BlockBytes: mcfg.BlockBytes,
+		Index: func(block uint64) (int, uint64) {
+			slot, leader := sel.Slot(int(block % sets))
+			if !leader {
+				panic(fmt.Sprintf("core: non-leader block %#x routed to SBAR ATD", block))
+			}
+			return slot, block
+		},
+	}, s.cfg.Baseline)
+}
+
+// Name implements cache.Policy.
+func (s *SBAR) Name() string {
+	return fmt.Sprintf("sbar(%s vs %s, k=%d, %s, psel=%db)",
+		s.lin.Name(), s.lru.Name(), s.cfg.LeaderSets, s.sel.Name(), s.cfg.PselBits)
+}
+
+// Victim implements cache.Policy: leader sets always use LIN; follower
+// sets follow PSEL.
+func (s *SBAR) Victim(set cache.SetView) int {
+	if _, leader := s.sel.Slot(set.Index); leader {
+		s.stats.LinVictims++
+		return s.lin.Victim(set)
+	}
+	if s.psel.MSB() {
+		s.stats.LinVictims++
+		return s.lin.Victim(set)
+	}
+	s.stats.LruVictims++
+	return s.lru.Victim(set)
+}
+
+// active returns the policy currently governing a set: leaders always
+// run the experimental policy, followers whatever PSEL selects.
+func (s *SBAR) active(set int) cache.Policy {
+	if _, leader := s.sel.Slot(set); leader || s.psel.MSB() {
+		return s.lin
+	}
+	return s.lru
+}
+
+// Touched implements cache.Policy, forwarding the notification to the
+// policy governing the set (stateful contestants like BIP or DCL depend
+// on these hooks).
+func (s *SBAR) Touched(set cache.SetView, w int) { s.active(set.Index).Touched(set, w) }
+
+// Filled implements cache.Policy (see Touched).
+func (s *SBAR) Filled(set cache.SetView, w int) { s.active(set.Index).Filled(set, w) }
+
+// OnAccess implements Hybrid.
+func (s *SBAR) OnAccess(addr uint64, write, mtdHit, primaryMiss bool) {
+	set := s.mtd.SetOf(addr)
+	if _, leader := s.sel.Slot(set); !leader {
+		return
+	}
+	s.stats.LeaderAccesses++
+	atdHit := s.atd.Probe(addr, write)
+	block := s.mtd.BlockOf(addr)
+	switch {
+	case mtdHit && atdHit:
+		// Both policies hit: neither is doing better.
+		s.stats.TieBothHit++
+	case mtdHit && !atdHit:
+		// LIN (the leader set) is doing better. The cost of the
+		// miss the LRU ATD incurred is the block's stored cost in
+		// the MTD tag entry (footnote 6): the access is not
+		// serviced by memory, so no fresh cost exists.
+		cost, _ := s.mtd.CostOf(addr)
+		s.psel.Add(int(cost))
+		s.stats.PselIncrements++
+		s.atd.Fill(addr, cost, false)
+	case !mtdHit && atdHit:
+		// LRU is doing better; the decrement amount is the
+		// MLP-based cost of the miss, known when it is serviced.
+		if primaryMiss {
+			s.pending[block] = sbarPending{decrement: true}
+		}
+	default:
+		// Both miss: PSEL unchanged; the ATD still needs the block
+		// once its cost is known.
+		s.stats.TieBothMiss++
+		if primaryMiss {
+			s.pending[block] = sbarPending{fillATD: true}
+		}
+	}
+}
+
+// OnFill implements Hybrid.
+func (s *SBAR) OnFill(addr uint64, costQ uint8) {
+	block := s.mtd.BlockOf(addr)
+	p, ok := s.pending[block]
+	if !ok {
+		return
+	}
+	delete(s.pending, block)
+	if p.decrement {
+		s.psel.Add(-int(costQ))
+		s.stats.PselDecrements++
+	}
+	if p.fillATD {
+		s.atd.Fill(addr, costQ, false)
+	}
+}
+
+// AdvanceEpoch implements Hybrid: under rand-dynamic selection the
+// leaders are re-drawn and the ATD restarts cold for the new sample.
+func (s *SBAR) AdvanceEpoch() {
+	if !s.sel.Reselect() {
+		return
+	}
+	s.stats.EpochReselects++
+	s.atd = s.newATD()
+	clear(s.pending)
+}
+
+// UsingLIN implements Hybrid.
+func (s *SBAR) UsingLIN(set int) bool {
+	if _, leader := s.sel.Slot(set); leader {
+		return true
+	}
+	return s.psel.MSB()
+}
+
+// Psel exposes the selector counter for tests and telemetry.
+func (s *SBAR) Psel() *PSEL { return s.psel }
+
+// Stats returns the selection counters.
+func (s *SBAR) Stats() HybridStats { return s.stats }
+
+// ATD exposes the auxiliary directory (read-only use in tests).
+func (s *SBAR) ATD() *cache.Cache { return s.atd }

@@ -1,0 +1,467 @@
+// Package cpu models the out-of-order core of the baseline machine
+// (Table 2): an eight-wide fetch/issue/retire engine with a 128-entry
+// instruction window, oldest-ready scheduling, a store buffer that lets
+// store misses retire without blocking the window, and a stall-on-
+// mispredict front end with the paper's 15-cycle minimum penalty.
+//
+// The model is deliberately scoped to what MLP-aware replacement can
+// observe: how many long-latency misses overlap inside the bounded
+// window, and when the window stalls waiting for memory. Loads issue when
+// their register dependence (a backward distance carried by the trace)
+// resolves; dependent loads therefore serialize their misses (isolated
+// misses) while independent loads overlap them (parallel misses).
+package cpu
+
+import (
+	"mlpcache/internal/bpred"
+	"mlpcache/internal/trace"
+)
+
+// Config describes the core.
+type Config struct {
+	ROBEntries         int
+	FetchWidth         int
+	IssueWidth         int
+	RetireWidth        int
+	MemPorts           int // memory instructions issued per cycle
+	StoreBufferEntries int
+	MispredictPenalty  uint64
+	IntLat             uint64
+	MulLat             uint64
+	FPLat              uint64
+	DivLat             uint64
+	// BranchPredictor, when set, replaces the trace's oracle
+	// Mispredict flags with a live gshare/per-address hybrid operating
+	// on the branches' static ids and actual outcomes.
+	BranchPredictor *bpred.Config
+}
+
+// DefaultConfig returns the paper's baseline core.
+func DefaultConfig() Config {
+	return Config{
+		ROBEntries:         128,
+		FetchWidth:         8,
+		IssueWidth:         8,
+		RetireWidth:        8,
+		MemPorts:           2,
+		StoreBufferEntries: 128,
+		MispredictPenalty:  15,
+		IntLat:             1,
+		MulLat:             8,
+		FPLat:              4,
+		DivLat:             16,
+	}
+}
+
+// MemSystem is the data-memory interface the core issues to.
+type MemSystem interface {
+	// Access starts a load (write=false) or store (write=true) at cycle
+	// now. It returns the access's completion cycle. accepted=false
+	// signals a structural hazard (MSHR full); the core retries the
+	// instruction on a later cycle.
+	Access(addr uint64, write bool, now uint64) (done uint64, accepted bool)
+}
+
+// Stats aggregates the core's counters.
+type Stats struct {
+	Retired     uint64
+	Loads       uint64
+	Stores      uint64
+	Branches    uint64
+	Mispredicts uint64
+	// MemStallCycles counts cycles in which nothing retired because the
+	// window head was an incomplete memory instruction.
+	MemStallCycles uint64
+	// MemStallEpisodes counts maximal runs of such cycles — the paper's
+	// "long-latency stalls" when the run is caused by an L2 miss.
+	MemStallEpisodes uint64
+	// FullWindowCycles counts cycles fetch was blocked by a full window.
+	FullWindowCycles uint64
+	// FetchMispredictCycles counts cycles fetch was blocked waiting for
+	// a mispredicted branch to resolve (plus the redirect penalty).
+	FetchMispredictCycles uint64
+	// StoreBufferFullEvents counts issue attempts rejected by a full
+	// store buffer; MSHRRejects counts memory accesses the hierarchy
+	// refused (MSHR full).
+	StoreBufferFullEvents uint64
+	MSHRRejects           uint64
+}
+
+const (
+	stWaiting uint8 = iota
+	stDone          // issued; completes when doneAt is reached
+)
+
+type robEntry struct {
+	in     trace.Instr
+	doneAt uint64
+	state  uint8
+	// mispredicted records the branch's fate as decided at fetch
+	// (oracle flag or live predictor), for retirement statistics.
+	mispredicted bool
+}
+
+const noBranch = ^uint64(0)
+
+// CPU is the core model. Drive it by calling Cycle with a monotonically
+// increasing cycle number until Finished reports true or an instruction
+// budget is met.
+type CPU struct {
+	cfg Config
+	mem MemSystem
+	src trace.Source
+
+	rob      []robEntry
+	head     int
+	count    int
+	waiting  int    // entries in stWaiting, bounds the issue scan
+	headG    uint64 // global index of rob[head]
+	nextG    uint64 // global index of the next fetched instruction
+	srcDone  bool
+	blockedG uint64 // global index of the unresolved mispredicted branch
+	resumeAt uint64 // cycle fetch may resume after redirect; 0 = unresolved
+
+	storeDone []uint64 // completion cycles of in-flight stores
+
+	predictor *bpred.Predictor
+
+	// events is a min-heap of pending completion cycles, letting the
+	// run loop skip stall cycles in which nothing can change.
+	events  eventHeap
+	didWork bool
+
+	inMemStall bool
+	stats      Stats
+}
+
+// eventHeap is a plain binary min-heap of cycle numbers (inlined rather
+// than container/heap to keep the hot path allocation-free).
+type eventHeap []uint64
+
+func (h *eventHeap) push(v uint64) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && old[l] < old[small] {
+			small = l
+		}
+		if r < n && old[r] < old[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+}
+
+// New builds a core that executes src against mem.
+func New(cfg Config, mem MemSystem, src trace.Source) *CPU {
+	if cfg.ROBEntries <= 0 || cfg.FetchWidth <= 0 || cfg.IssueWidth <= 0 || cfg.RetireWidth <= 0 {
+		panic("cpu: widths and window size must be positive")
+	}
+	if mem == nil || src == nil {
+		panic("cpu: need a memory system and a source")
+	}
+	c := &CPU{
+		cfg:      cfg,
+		mem:      mem,
+		src:      src,
+		rob:      make([]robEntry, cfg.ROBEntries),
+		blockedG: noBranch,
+	}
+	if cfg.BranchPredictor != nil {
+		c.predictor = bpred.New(*cfg.BranchPredictor)
+	}
+	return c
+}
+
+// PredictorStats returns the live predictor's counters (zero value when
+// running in oracle mode).
+func (c *CPU) PredictorStats() bpred.Stats {
+	if c.predictor == nil {
+		return bpred.Stats{}
+	}
+	return c.predictor.Stats()
+}
+
+// Stats returns the core's counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// Finished reports whether the source is drained and the window empty.
+func (c *CPU) Finished() bool { return c.srcDone && c.count == 0 }
+
+// slot maps a global instruction index in the window to its ROB slot.
+func (c *CPU) slot(g uint64) int {
+	return (c.head + int(g-c.headG)) % len(c.rob)
+}
+
+// depReady reports whether the entry's register dependence has resolved
+// by cycle now.
+func (c *CPU) depReady(e *robEntry, g uint64, now uint64) bool {
+	if e.in.Dep <= 0 {
+		return true
+	}
+	if uint64(e.in.Dep) > g {
+		return true // dependence reaches before the first instruction
+	}
+	prodG := g - uint64(e.in.Dep)
+	if prodG < c.headG {
+		return true // producer already retired
+	}
+	p := &c.rob[c.slot(prodG)]
+	return p.state == stDone && p.doneAt <= now
+}
+
+// Cycle advances the core by one cycle: retire, drain the store buffer,
+// issue, fetch. It returns the number of instructions retired this cycle.
+func (c *CPU) Cycle(now uint64) int {
+	c.didWork = false
+	retired := c.retire(now)
+	if retired > 0 {
+		c.didWork = true
+	}
+	c.drainStores(now)
+	c.issue(now)
+	c.fetch(now)
+	return retired
+}
+
+// NoteSkipped attributes n cycles the run loop skipped (because DidWork
+// was false) to the stall statistics the skipped cycles would have
+// accrued one by one.
+func (c *CPU) NoteSkipped(n uint64) {
+	if c.inMemStall {
+		c.stats.MemStallCycles += n
+	}
+	if c.count == len(c.rob) {
+		c.stats.FullWindowCycles += n
+	} else if c.blockedG != noBranch {
+		c.stats.FetchMispredictCycles += n
+	}
+}
+
+// DidWork reports whether the last Cycle retired, issued or fetched
+// anything. When it returns false, no core state can change before
+// NextEvent, so the run loop may skip ahead.
+func (c *CPU) DidWork() bool { return c.didWork }
+
+// NextEvent returns the earliest future cycle (strictly after now) at
+// which core-visible state can change: a pending completion, a store
+// buffer drain, or a fetch redirect. It returns ^uint64(0) if no such
+// event is scheduled.
+func (c *CPU) NextEvent(now uint64) uint64 {
+	next := ^uint64(0)
+	for len(c.events) > 0 {
+		if t := c.events[0]; t > now {
+			next = t
+			break
+		}
+		c.events.pop()
+	}
+	if c.blockedG != noBranch && c.resumeAt > now && c.resumeAt < next {
+		next = c.resumeAt
+	}
+	for _, d := range c.storeDone {
+		if d > now && d < next {
+			next = d
+		}
+	}
+	return next
+}
+
+func (c *CPU) retire(now uint64) int {
+	retired := 0
+	for retired < c.cfg.RetireWidth && c.count > 0 {
+		e := &c.rob[c.head]
+		if e.state != stDone || e.doneAt > now {
+			break
+		}
+		switch e.in.Kind {
+		case trace.Load:
+			c.stats.Loads++
+		case trace.Store:
+			c.stats.Stores++
+		case trace.Branch:
+			c.stats.Branches++
+			if e.mispredicted {
+				c.stats.Mispredicts++
+			}
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.headG++
+		c.count--
+		c.stats.Retired++
+		retired++
+	}
+	if retired == 0 && c.count > 0 {
+		e := &c.rob[c.head]
+		if e.in.Kind.IsMem() && (e.state != stDone || e.doneAt > now) {
+			c.stats.MemStallCycles++
+			if !c.inMemStall {
+				c.inMemStall = true
+				c.stats.MemStallEpisodes++
+			}
+		} else {
+			c.inMemStall = false
+		}
+	} else {
+		c.inMemStall = false
+	}
+	return retired
+}
+
+func (c *CPU) drainStores(now uint64) {
+	out := c.storeDone[:0]
+	for _, d := range c.storeDone {
+		if d > now {
+			out = append(out, d)
+		}
+	}
+	c.storeDone = out
+}
+
+func (c *CPU) issue(now uint64) {
+	if c.waiting == 0 {
+		return
+	}
+	issued, memIssued, seenWaiting := 0, 0, 0
+	toSee := c.waiting // snapshot: completions during the scan shrink c.waiting
+	for i := 0; i < c.count; i++ {
+		if issued >= c.cfg.IssueWidth || seenWaiting >= toSee {
+			break
+		}
+		slot := (c.head + i) % len(c.rob)
+		e := &c.rob[slot]
+		if e.state != stWaiting {
+			continue
+		}
+		seenWaiting++
+		g := c.headG + uint64(i)
+		if !c.depReady(e, g, now) {
+			continue
+		}
+		switch e.in.Kind {
+		case trace.Int:
+			c.complete(e, now+c.cfg.IntLat)
+		case trace.Mul:
+			c.complete(e, now+c.cfg.MulLat)
+		case trace.FP:
+			c.complete(e, now+c.cfg.FPLat)
+		case trace.Div:
+			c.complete(e, now+c.cfg.DivLat)
+		case trace.Branch:
+			c.complete(e, now+1)
+			if c.blockedG == g {
+				// Branch resolved: fetch redirects after the
+				// minimum misprediction penalty.
+				c.resumeAt = e.doneAt + c.cfg.MispredictPenalty
+			}
+		case trace.Load:
+			if memIssued >= c.cfg.MemPorts {
+				continue
+			}
+			memIssued++
+			done, ok := c.mem.Access(e.in.Addr, false, now)
+			if !ok {
+				c.stats.MSHRRejects++
+				continue // retry on a later cycle
+			}
+			c.complete(e, done)
+		case trace.Store:
+			if memIssued >= c.cfg.MemPorts {
+				continue
+			}
+			if len(c.storeDone) >= c.cfg.StoreBufferEntries {
+				c.stats.StoreBufferFullEvents++
+				continue // window blocks only when the buffer is full
+			}
+			memIssued++
+			done, ok := c.mem.Access(e.in.Addr, true, now)
+			if !ok {
+				c.stats.MSHRRejects++
+				continue
+			}
+			// The store retires from the window immediately; the
+			// store buffer tracks the in-flight write.
+			c.storeDone = append(c.storeDone, done)
+			c.complete(e, now+1)
+		}
+		if e.state == stDone {
+			issued++
+		}
+	}
+}
+
+func (c *CPU) complete(e *robEntry, doneAt uint64) {
+	e.state = stDone
+	e.doneAt = doneAt
+	c.waiting--
+	c.didWork = true
+	c.events.push(doneAt)
+}
+
+// branchMispredicted decides a fetched branch's fate: a live predictor
+// consults and trains on the branch's id and outcome; oracle mode obeys
+// the trace's flag.
+func (c *CPU) branchMispredicted(in trace.Instr) bool {
+	if c.predictor != nil {
+		return !c.predictor.PredictAndUpdate(in.Addr, in.Taken)
+	}
+	return in.Mispredict
+}
+
+func (c *CPU) fetch(now uint64) {
+	if c.blockedG != noBranch {
+		if c.resumeAt == 0 || now < c.resumeAt {
+			c.stats.FetchMispredictCycles++
+			return
+		}
+		c.blockedG = noBranch
+		c.resumeAt = 0
+	}
+	if c.count == len(c.rob) {
+		c.stats.FullWindowCycles++
+		return
+	}
+	for f := 0; f < c.cfg.FetchWidth && c.count < len(c.rob) && !c.srcDone; f++ {
+		in, ok := c.src.Next()
+		if !ok {
+			c.srcDone = true
+			return
+		}
+		slot := (c.head + c.count) % len(c.rob)
+		c.rob[slot] = robEntry{in: in, state: stWaiting}
+		g := c.nextG
+		c.nextG++
+		c.count++
+		c.waiting++
+		c.didWork = true
+		if in.Kind == trace.Branch && c.branchMispredicted(in) {
+			// Stall-on-mispredict front end: no wrong path is
+			// fetched; fetch waits for the branch to resolve.
+			c.rob[slot].mispredicted = true
+			c.blockedG = g
+			return
+		}
+	}
+}

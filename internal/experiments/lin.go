@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"mlpcache/internal/sim"
+	"mlpcache/internal/workload"
+)
+
+// Figure4Result holds the λ-sweep of Figure 4: IPC improvement of LIN(λ)
+// over the LRU baseline, for λ = 1..4.
+type Figure4Result struct {
+	Lambdas []int
+	Rows    []Figure4Row
+}
+
+// Figure4Row is one benchmark's sweep.
+type Figure4Row struct {
+	Bench    string
+	IPCDelta []float64 // percent, per lambda
+}
+
+// Figure4 reproduces Figure 4: "IPC variation with LIN(λ) as λ is varied
+// from 1 to 4".
+func Figure4(r *Runner) Figure4Result {
+	res := Figure4Result{Lambdas: []int{1, 2, 3, 4}}
+	for _, b := range r.Names() {
+		base := r.Baseline(b)
+		row := Figure4Row{Bench: b}
+		for _, l := range res.Lambdas {
+			lin := r.Run(b, sim.PolicySpec{Kind: sim.PolicyLIN, Lambda: l})
+			row.IPCDelta = append(row.IPCDelta, lin.IPCDeltaPercent(base))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// table builds the paper-style table.
+func (f Figure4Result) table() *table {
+	t := newTable("Figure 4: IPC improvement over LRU for LIN(λ)",
+		"bench", "LIN(1)", "LIN(2)", "LIN(3)", "LIN(4)")
+	for _, row := range f.Rows {
+		cells := []string{row.Bench}
+		for _, d := range row.IPCDelta {
+			cells = append(cells, pct(d))
+		}
+		t.row(cells...)
+	}
+	t.note("paper: effect grows with λ; λ=4 helps art/mcf/vpr/ammp/galgel/sixtrack, hurts bzip2/parser/mgrid")
+	return t
+}
+
+// Figure5Result compares the LIN(4) run against the LRU baseline per
+// benchmark: the mlp-cost distribution shift and the ΔMISS/ΔIPC insets.
+type Figure5Result struct {
+	Rows []Figure5Row
+}
+
+// Figure5Row is one benchmark's comparison.
+type Figure5Row struct {
+	Bench        string
+	MissDeltaPct float64
+	IPCDeltaPct  float64
+	// Paper values from the Figure 5 insets, for side-by-side reporting.
+	PaperMissPct float64
+	PaperIPCPct  float64
+	// BasePct and LinPct are the 8-bin mlp-cost distributions (percent
+	// of misses) under LRU and LIN.
+	BasePct []float64
+	LinPct  []float64
+	BaseAvg float64
+	LinAvg  float64
+}
+
+// DirectionsAgree reports whether measured ΔMISS and ΔIPC both match the
+// paper's sign (within a ±2% neutrality band).
+func (r Figure5Row) DirectionsAgree() bool {
+	return sameSign(r.MissDeltaPct, r.PaperMissPct, 2) &&
+		sameSign(r.IPCDeltaPct, r.PaperIPCPct, 2)
+}
+
+// Figure5 reproduces Figure 5: mlp-cost distribution under baseline vs
+// LIN(λ=4) with the miss/IPC change insets.
+func Figure5(r *Runner) Figure5Result {
+	var out Figure5Result
+	for _, b := range r.Names() {
+		spec, _ := workload.ByName(b)
+		base := r.Baseline(b)
+		lin := r.Run(b, sim.PolicySpec{Kind: sim.PolicyLIN, Lambda: 4})
+		out.Rows = append(out.Rows, Figure5Row{
+			Bench:        b,
+			MissDeltaPct: lin.MissDeltaPercent(base),
+			IPCDeltaPct:  lin.IPCDeltaPercent(base),
+			PaperMissPct: spec.PaperLINMissPct,
+			PaperIPCPct:  spec.PaperLINIPCPct,
+			BasePct:      base.CostHist.Percent(),
+			LinPct:       lin.CostHist.Percent(),
+			BaseAvg:      base.CostHist.Mean(),
+			LinAvg:       lin.CostHist.Mean(),
+		})
+	}
+	return out
+}
+
+// table builds the paper-style table.
+func (f Figure5Result) table() *table {
+	t := newTable("Figure 5: LIN(4) vs baseline — ΔMISS / ΔIPC (paper values in brackets)",
+		"bench", "ΔMISS", "[paper]", "ΔIPC", "[paper]", "avg cost LRU→LIN", "shape")
+	for _, r0 := range f.Rows {
+		agree := "agree"
+		if !r0.DirectionsAgree() {
+			agree = "DISAGREE"
+		}
+		t.rowf("%s\t%s\t[%s]\t%s\t[%s]\t%.0f→%.0f\t%s",
+			r0.Bench, pct(r0.MissDeltaPct), pct(r0.PaperMissPct),
+			pct(r0.IPCDeltaPct), pct(r0.PaperIPCPct),
+			r0.BaseAvg, r0.LinAvg, agree)
+	}
+	t.note("per-benchmark cost histograms available via Figure2 under each policy")
+	return t
+}

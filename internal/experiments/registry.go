@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// renderable is any experiment result that can print itself; every
+// result also exposes its table for CSV export.
+type renderable interface {
+	Render(w io.Writer)
+	table() *table
+}
+
+// AllIDs returns every experiment id in paper order.
+func AllIDs() []string {
+	return []string{
+		"fig1", "fig2", "tab1", "tab2", "tab3", "fig3b",
+		"fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "ovh",
+	}
+}
+
+// SensitivityIDs returns the extension sweeps (the material of the
+// paper's truncated Section 7), runnable via mlpexp but not part of
+// "all" since each costs ~18 simulations.
+func SensitivityIDs() []string {
+	return []string{"sens-mem", "sens-cache", "sens-mshr", "sens-window", "stab", "cbs"}
+}
+
+// RunByID executes one experiment and renders it to w.
+func RunByID(r *Runner, id string, w io.Writer) error {
+	res, err := resolve(r, id)
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	return nil
+}
+
+// resolve runs the experiment behind an id.
+func resolve(r *Runner, id string) (renderable, error) {
+	var res renderable
+	switch id {
+	case "fig1":
+		res = Figure1()
+	case "fig2":
+		res = Figure2(r)
+	case "tab1":
+		res = Table1(r)
+	case "tab2":
+		res = Table2()
+	case "tab3":
+		res = Table3(r)
+	case "fig3b":
+		res = Figure3b()
+	case "fig4":
+		res = Figure4(r)
+	case "fig5":
+		res = Figure5(r)
+	case "fig8":
+		res = Figure8()
+	case "fig9":
+		res = Figure9(r)
+	case "fig10":
+		res = Figure10(r)
+	case "fig11":
+		res = Figure11(r)
+	case "ovh":
+		res = OverheadReport()
+	case "sens-mem":
+		res = SensitivityMemLatency(r)
+	case "sens-cache":
+		res = SensitivityCacheSize(r)
+	case "sens-mshr":
+		res = SensitivityMSHR(r)
+	case "sens-window":
+		res = SensitivityWindow(r)
+	case "stab":
+		res = Stability(r)
+	case "cbs":
+		res = CBSComparison(r)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (known: %v plus %v)", id, AllIDs(), SensitivityIDs())
+	}
+	return res, nil
+}
+
+// RunByIDCSV executes one experiment and writes its data rows as CSV.
+func RunByIDCSV(r *Runner, id string, w io.Writer) error {
+	res, err := resolve(r, id)
+	if err != nil {
+		return err
+	}
+	return res.table().WriteCSV(w)
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import "io"
+
+// Render implementations: every experiment result renders through its
+// table, so text and CSV output stay in lockstep.
+
+// Render writes the paper-style text table.
+func (f Figure1Result) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f Figure2Result) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f Table1Result) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f Table2Result) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f Table3Result) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f Figure3bResult) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f Figure4Result) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f Figure5Result) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f Figure8Result) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f Figure9Result) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f Figure10Result) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f Figure11Result) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f OverheadResult) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (s SensitivityResult) Render(w io.Writer) { s.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f StabilityResult) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f CBSComparisonResult) Render(w io.Writer) { f.table().Render(w) }

@@ -1,0 +1,112 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the Figure 1 worked example, the Figure 2 mlp-cost
+// distributions, the Table 1 delta statistics, the Table 3 benchmark
+// summary, the LIN sweeps of Figures 4 and 5, the sampling analysis of
+// Figure 8, the SBAR results of Figures 9 and 10, the ammp case study of
+// Figure 11, and the storage-overhead accounting. Each experiment returns
+// structured data and renders a paper-style text table.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mlpcache/internal/sim"
+	"mlpcache/internal/workload"
+)
+
+// Runner executes benchmark×policy simulations with memoization, since
+// the experiments share many configurations (every figure needs the LRU
+// baseline, for instance).
+type Runner struct {
+	// Instructions is the per-run instruction budget. The paper uses
+	// 250M-instruction SimPoint slices; the synthetic workloads reach
+	// steady state within a few million, which keeps the full suite
+	// runnable in minutes. Figures report relative changes, which are
+	// stable at this scale.
+	Instructions uint64
+	// Seed drives workload generation; a fixed seed makes every
+	// experiment reproducible.
+	Seed uint64
+	// Benchmarks restricts the benchmark set (nil: all 14).
+	Benchmarks []string
+
+	mu    sync.Mutex
+	cache map[string]sim.Result
+}
+
+// NewRunner returns a Runner with the given per-run instruction budget.
+func NewRunner(instructions, seed uint64) *Runner {
+	return &Runner{
+		Instructions: instructions,
+		Seed:         seed,
+		cache:        make(map[string]sim.Result),
+	}
+}
+
+// Names returns the benchmark list this runner covers.
+func (r *Runner) Names() []string {
+	if len(r.Benchmarks) > 0 {
+		return r.Benchmarks
+	}
+	return workload.Names()
+}
+
+// Run simulates one benchmark under one policy, memoized.
+func (r *Runner) Run(bench string, spec sim.PolicySpec) sim.Result {
+	return r.run(bench, spec, 0, 0)
+}
+
+// RunSeries is Run with Figure 11 time-series sampling enabled.
+func (r *Runner) RunSeries(bench string, spec sim.PolicySpec, interval uint64) sim.Result {
+	return r.run(bench, spec, interval, 0)
+}
+
+// RunEpoch is Run with periodic leader reselection (rand-dynamic SBAR).
+func (r *Runner) RunEpoch(bench string, spec sim.PolicySpec, epoch uint64) sim.Result {
+	return r.run(bench, spec, 0, epoch)
+}
+
+func (r *Runner) run(bench string, spec sim.PolicySpec, interval, epoch uint64) sim.Result {
+	key := fmt.Sprintf("%s|%+v|%d|%d|%d|%d", bench, spec, r.Instructions, r.Seed, interval, epoch)
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	w, ok := workload.ByName(bench)
+	if !ok {
+		panic("experiments: unknown benchmark " + bench)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = r.Instructions
+	cfg.Policy = spec
+	cfg.SampleInterval = interval
+	cfg.EpochInstructions = epoch
+	res := sim.Run(cfg, w.Build(r.Seed))
+
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res
+}
+
+// Baseline returns the benchmark's LRU result.
+func (r *Runner) Baseline(bench string) sim.Result {
+	return r.Run(bench, sim.PolicySpec{Kind: sim.PolicyLRU})
+}
+
+// CachedKeys lists memoized run keys (for tests).
+func (r *Runner) CachedKeys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(r.cache))
+	for k := range r.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

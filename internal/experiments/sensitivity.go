@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlpcache/internal/sim"
+	"mlpcache/internal/workload"
+)
+
+// Sensitivity studies in the spirit of the paper's Section 7 (the
+// provided text cuts off inside it): how LIN's gains and losses, and
+// SBAR's protection, respond to the machine parameters that shape MLP —
+// memory latency, cache capacity, MSHR size, and window size. Each sweep
+// runs a LIN-winner (mcf) and a LIN-loser (parser) so both sides of the
+// mechanism stay visible.
+
+// SensitivityPoint is one (parameter value × benchmark) measurement.
+type SensitivityPoint struct {
+	Param   string
+	Value   string
+	Bench   string
+	LRUIPC  float64
+	LINPct  float64 // LIN IPC delta vs LRU, percent
+	SBARPct float64 // SBAR IPC delta vs LRU, percent
+}
+
+// SensitivityResult is one parameter sweep.
+type SensitivityResult struct {
+	Param  string
+	Points []SensitivityPoint
+}
+
+// sensBenches are the representative benchmarks each sweep runs.
+var sensBenches = []string{"mcf", "parser"}
+
+// runSensPoint simulates one benchmark at one configuration under LRU,
+// LIN(4) and SBAR.
+func runSensPoint(instructions, seed uint64, param, value, bench string,
+	mutate func(*sim.Config)) SensitivityPoint {
+
+	w, ok := workload.ByName(bench)
+	if !ok {
+		panic("experiments: unknown benchmark " + bench)
+	}
+	run := func(spec sim.PolicySpec) sim.Result {
+		cfg := sim.DefaultConfig()
+		cfg.MaxInstructions = instructions
+		cfg.Policy = spec
+		mutate(&cfg)
+		return sim.Run(cfg, w.Build(seed))
+	}
+	lru := run(sim.PolicySpec{Kind: sim.PolicyLRU})
+	lin := run(sim.PolicySpec{Kind: sim.PolicyLIN, Lambda: 4})
+	sbar := run(sim.PolicySpec{Kind: sim.PolicySBAR})
+	return SensitivityPoint{
+		Param: param, Value: value, Bench: bench,
+		LRUIPC:  lru.IPC,
+		LINPct:  lin.IPCDeltaPercent(lru),
+		SBARPct: sbar.IPCDeltaPercent(lru),
+	}
+}
+
+// SensitivityMemLatency sweeps the DRAM access latency: longer memory
+// raises the price of an isolated miss linearly, so LIN's wins and
+// losses both scale with it.
+func SensitivityMemLatency(r *Runner) SensitivityResult {
+	res := SensitivityResult{Param: "memory latency"}
+	for _, lat := range []uint64{200, 400, 800} {
+		for _, b := range sensBenches {
+			res.Points = append(res.Points, runSensPoint(
+				r.Instructions, r.Seed, res.Param,
+				fmt.Sprintf("%d cycles", lat), b,
+				func(c *sim.Config) { c.DRAM.AccessCycles = lat }))
+		}
+	}
+	return res
+}
+
+// SensitivityCacheSize sweeps the L2 capacity. A larger cache softens
+// thrash (less for LIN to win) and dilutes pollution (less for LIN to
+// lose); a smaller one sharpens both.
+func SensitivityCacheSize(r *Runner) SensitivityResult {
+	res := SensitivityResult{Param: "L2 size"}
+	for _, kb := range []uint64{512, 1024, 2048} {
+		for _, b := range sensBenches {
+			res.Points = append(res.Points, runSensPoint(
+				r.Instructions, r.Seed, res.Param,
+				fmt.Sprintf("%dKB", kb), b,
+				func(c *sim.Config) { c.L2.SizeBytes = kb * 1024 }))
+		}
+	}
+	return res
+}
+
+// SensitivityMSHR sweeps the miss-file size, which caps achievable MLP:
+// with few MSHRs even "parallel" misses serialize, compressing the cost
+// non-uniformity the whole mechanism feeds on.
+func SensitivityMSHR(r *Runner) SensitivityResult {
+	res := SensitivityResult{Param: "MSHR entries"}
+	for _, entries := range []int{8, 32, 64} {
+		for _, b := range sensBenches {
+			res.Points = append(res.Points, runSensPoint(
+				r.Instructions, r.Seed, res.Param,
+				fmt.Sprintf("%d", entries), b,
+				func(c *sim.Config) { c.MSHR.Entries = entries }))
+		}
+	}
+	return res
+}
+
+// SensitivityWindow sweeps the instruction window, the other MLP limiter:
+// a small window cannot overlap misses, so everything drifts toward
+// isolated cost.
+func SensitivityWindow(r *Runner) SensitivityResult {
+	res := SensitivityResult{Param: "window size"}
+	for _, entries := range []int{32, 128, 256} {
+		for _, b := range sensBenches {
+			res.Points = append(res.Points, runSensPoint(
+				r.Instructions, r.Seed, res.Param,
+				fmt.Sprintf("%d", entries), b,
+				func(c *sim.Config) { c.CPU.ROBEntries = entries }))
+		}
+	}
+	return res
+}
+
+// table builds the sweep table.
+func (s SensitivityResult) table() *table {
+	t := newTable(fmt.Sprintf("Sensitivity: %s (IPC delta vs LRU at each point)", s.Param),
+		s.Param, "bench", "LRU IPC", "LIN", "SBAR")
+	for _, p := range s.Points {
+		t.rowf("%s\t%s\t%.4f\t%s\t%s", p.Value, p.Bench, p.LRUIPC, pct(p.LINPct), pct(p.SBARPct))
+	}
+	t.note("mcf represents LIN's win side, parser its loss side; SBAR should track max(LIN, LRU) throughout")
+	return t
+}

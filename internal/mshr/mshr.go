@@ -1,0 +1,246 @@
+// Package mshr models the Miss Status Holding Registers together with the
+// paper's cost calculation logic (CCL, Algorithm 1): every cycle, each
+// outstanding demand miss accrues 1/N cycles of MLP-based cost, where N is
+// the number of outstanding demand misses. An isolated miss therefore
+// accrues its full service latency (444 cycles on the baseline machine),
+// while k parallel misses split each cycle k ways.
+//
+// Two update implementations are provided: the exact one (an adder per
+// entry, invoked every cycle) and the paper's cost-reduced variant that
+// time-shares four adders round-robin across the valid entries, which the
+// paper reports — and the ablation bench confirms — makes a negligible
+// difference.
+package mshr
+
+import "fmt"
+
+// Config parameterizes the MSHR file.
+type Config struct {
+	// Entries is the number of simultaneous outstanding misses (32 in
+	// the baseline).
+	Entries int
+	// Adders, when positive, enables the time-shared-adder
+	// approximation with that many adders (the paper uses 4). Zero
+	// selects the exact per-entry update.
+	Adders int
+	// CostCap saturates each entry's accumulated cost, modelling a
+	// finite-width cost register. Zero means unbounded.
+	CostCap float64
+}
+
+type entry struct {
+	block      uint64
+	valid      bool
+	demand     bool
+	cost       float64
+	lastUpdate uint64 // cycle of the entry's last adder visit
+}
+
+// MSHR is the miss file.
+type MSHR struct {
+	cfg     Config
+	entries []entry
+	index   map[uint64]int // block → slot
+	demand  int            // count of valid demand entries
+	rr      int            // round-robin pointer for adder sharing
+
+	// Exact-mode cost clock: clock accumulates Σ 1/N(t) over cycles with
+	// N(t) > 0 demand misses outstanding. An entry's cost is the clock
+	// advance over its lifetime, which makes the exact per-entry update
+	// O(1) per allocate/free event instead of O(entries) per cycle.
+	clock     float64
+	clockAt   uint64 // cycle the clock was last advanced to
+	clockBase map[uint64]float64
+
+	// Peak tracks the maximum simultaneous occupancy observed.
+	Peak int
+}
+
+// New builds an MSHR file.
+func New(cfg Config) *MSHR {
+	if cfg.Entries <= 0 {
+		panic("mshr: Entries must be positive")
+	}
+	return &MSHR{
+		cfg:       cfg,
+		entries:   make([]entry, cfg.Entries),
+		index:     make(map[uint64]int, cfg.Entries),
+		clockBase: make(map[uint64]float64, cfg.Entries),
+	}
+}
+
+// Exact reports whether the exact (event-driven) cost update is in use.
+func (m *MSHR) Exact() bool { return m.cfg.Adders <= 0 }
+
+// advanceClock brings the exact-mode cost clock up to the given cycle.
+// Between events N is constant, so the clock advances by elapsed/N.
+func (m *MSHR) advanceClock(cycle uint64) {
+	if cycle > m.clockAt {
+		if m.demand > 0 {
+			m.clock += float64(cycle-m.clockAt) / float64(m.demand)
+		}
+		m.clockAt = cycle
+	}
+}
+
+// Config returns the file's configuration.
+func (m *MSHR) Config() Config { return m.cfg }
+
+// Len returns the number of valid entries.
+func (m *MSHR) Len() int { return len(m.index) }
+
+// Full reports whether no entry is free.
+func (m *MSHR) Full() bool { return len(m.index) == m.cfg.Entries }
+
+// OutstandingDemand returns N, the number of outstanding demand misses.
+func (m *MSHR) OutstandingDemand() int { return m.demand }
+
+// Pending reports whether a miss for the block is in flight.
+func (m *MSHR) Pending(block uint64) bool {
+	_, ok := m.index[block]
+	return ok
+}
+
+// Allocate registers a miss for the block at the given cycle.
+// primary is true when a new entry was created; false means the miss
+// merged into an in-flight entry for the same block (the paper treats
+// such concurrent misses as a single miss). full is true — and nothing is
+// allocated — when the file has no free entry.
+func (m *MSHR) Allocate(block uint64, demand bool, cycle uint64) (primary, full bool) {
+	if m.Exact() {
+		m.advanceClock(cycle)
+	}
+	if i, ok := m.index[block]; ok {
+		// Merge. A demand access upgrades a non-demand entry so the
+		// cost machinery starts charging it.
+		if demand && !m.entries[i].demand {
+			m.entries[i].demand = true
+			m.demand++
+			if m.Exact() {
+				m.clockBase[block] = m.clock
+			}
+		}
+		return false, false
+	}
+	if m.Full() {
+		return false, true
+	}
+	slot := -1
+	for i := range m.entries {
+		if !m.entries[i].valid {
+			slot = i
+			break
+		}
+	}
+	m.entries[slot] = entry{block: block, valid: true, demand: demand, lastUpdate: cycle}
+	m.index[block] = slot
+	if demand {
+		m.demand++
+		if m.Exact() {
+			m.clockBase[block] = m.clock
+		}
+	}
+	if len(m.index) > m.Peak {
+		m.Peak = len(m.index)
+	}
+	return true, false
+}
+
+// Tick advances the cost calculation logic by one cycle (Algorithm 1's
+// update_mlp_cost). cycle is the current cycle number, used by the
+// adder-sharing approximation.
+func (m *MSHR) Tick(cycle uint64) {
+	if m.demand == 0 {
+		return
+	}
+	if m.Exact() {
+		// Exact mode needs no per-cycle work: the cost clock advances
+		// lazily at allocate/free events. (Calling Tick is still
+		// harmless.)
+		return
+	}
+	share := 1 / float64(m.demand)
+	// Time-shared adders: visit up to Adders valid entries round-robin,
+	// crediting each with the cycles elapsed since its last visit at the
+	// current 1/N rate.
+	visited := 0
+	for scanned := 0; scanned < len(m.entries) && visited < m.cfg.Adders; scanned++ {
+		i := m.rr
+		m.rr = (m.rr + 1) % len(m.entries)
+		if !m.entries[i].valid {
+			continue
+		}
+		visited++
+		if !m.entries[i].demand {
+			m.entries[i].lastUpdate = cycle
+			continue
+		}
+		elapsed := float64(cycle - m.entries[i].lastUpdate)
+		if elapsed > 0 {
+			m.addCost(i, elapsed*share)
+			m.entries[i].lastUpdate = cycle
+		}
+	}
+}
+
+func (m *MSHR) addCost(i int, amount float64) {
+	m.entries[i].cost += amount
+	if m.cfg.CostCap > 0 && m.entries[i].cost > m.cfg.CostCap {
+		m.entries[i].cost = m.cfg.CostCap
+	}
+}
+
+// Free releases the block's entry when its miss is serviced, returning
+// the accumulated MLP-based cost. It panics if the block has no entry
+// (a protocol violation in the caller, not a runtime condition).
+func (m *MSHR) Free(block uint64, cycle uint64) float64 {
+	i, ok := m.index[block]
+	if !ok {
+		panic(fmt.Sprintf("mshr: Free of block %#x with no entry", block))
+	}
+	e := &m.entries[i]
+	var cost float64
+	switch {
+	case m.Exact():
+		if e.demand {
+			m.advanceClock(cycle)
+			cost = m.clock - m.clockBase[block]
+			delete(m.clockBase, block)
+			if m.cfg.CostCap > 0 && cost > m.cfg.CostCap {
+				cost = m.cfg.CostCap
+			}
+		}
+	default:
+		if e.demand && m.demand > 0 {
+			// Credit the tail the round-robin scan has not
+			// reached yet.
+			if elapsed := float64(cycle - e.lastUpdate); elapsed > 0 {
+				m.addCost(i, elapsed/float64(m.demand))
+			}
+		}
+		cost = e.cost
+	}
+	if e.demand {
+		m.demand--
+	}
+	e.valid = false
+	delete(m.index, block)
+	return cost
+}
+
+// Cost returns the block's accumulated cost as of the given cycle; ok is
+// false if no entry exists.
+func (m *MSHR) Cost(block uint64, cycle uint64) (cost float64, ok bool) {
+	i, found := m.index[block]
+	if !found {
+		return 0, false
+	}
+	if m.Exact() {
+		if !m.entries[i].demand {
+			return 0, true
+		}
+		m.advanceClock(cycle)
+		return m.clock - m.clockBase[block], true
+	}
+	return m.entries[i].cost, true
+}

@@ -1,0 +1,243 @@
+package mshr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsolatedMissCostEqualsLifetime(t *testing.T) {
+	m := New(Config{Entries: 32})
+	m.Allocate(1, true, 100)
+	for c := uint64(101); c <= 544; c++ {
+		m.Tick(c)
+	}
+	cost := m.Free(1, 544)
+	if cost != 444 {
+		t.Fatalf("isolated cost = %v, want 444", cost)
+	}
+}
+
+func TestTwoParallelMissesSplitTheCost(t *testing.T) {
+	m := New(Config{Entries: 32})
+	m.Allocate(1, true, 0)
+	m.Allocate(2, true, 0)
+	c1 := m.Free(1, 444)
+	c2 := m.Free(2, 444)
+	if math.Abs(c1-222) > 1e-9 || math.Abs(c2-222) > 1e-9 {
+		t.Fatalf("parallel costs = %v, %v; want 222 each", c1, c2)
+	}
+}
+
+func TestStaggeredOverlap(t *testing.T) {
+	// Miss A alone for 100 cycles, then B joins for 100 cycles, then A
+	// retires: A = 100·1 + 100·½ = 150.
+	m := New(Config{Entries: 32})
+	m.Allocate(1, true, 0)
+	m.Allocate(2, true, 100)
+	if got := m.Free(1, 200); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("A cost = %v, want 150", got)
+	}
+	// B continues alone for 50 more: 100·½ + 50 = 100.
+	if got := m.Free(2, 250); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("B cost = %v, want 100", got)
+	}
+}
+
+func TestMergeIsNotPrimary(t *testing.T) {
+	m := New(Config{Entries: 4})
+	primary, full := m.Allocate(7, true, 0)
+	if !primary || full {
+		t.Fatalf("first allocation: primary=%v full=%v", primary, full)
+	}
+	primary, full = m.Allocate(7, true, 10)
+	if primary || full {
+		t.Fatalf("merge: primary=%v full=%v", primary, full)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after merge, want 1", m.Len())
+	}
+}
+
+func TestFullRejects(t *testing.T) {
+	m := New(Config{Entries: 2})
+	m.Allocate(1, true, 0)
+	m.Allocate(2, true, 0)
+	if !m.Full() {
+		t.Fatal("expected full")
+	}
+	if _, full := m.Allocate(3, true, 0); !full {
+		t.Fatal("allocation into a full file must report full")
+	}
+	m.Free(1, 10)
+	if m.Full() {
+		t.Fatal("still full after Free")
+	}
+	if primary, full := m.Allocate(3, true, 10); !primary || full {
+		t.Fatal("allocation after Free should succeed")
+	}
+}
+
+func TestFreeUnknownPanics(t *testing.T) {
+	m := New(Config{Entries: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Free(42, 0)
+}
+
+func TestPendingAndCost(t *testing.T) {
+	m := New(Config{Entries: 4})
+	m.Allocate(9, true, 0)
+	if !m.Pending(9) || m.Pending(8) {
+		t.Fatal("Pending wrong")
+	}
+	if cost, ok := m.Cost(9, 50); !ok || math.Abs(cost-50) > 1e-9 {
+		t.Fatalf("Cost = %v,%v; want 50,true", cost, ok)
+	}
+	if _, ok := m.Cost(8, 50); ok {
+		t.Fatal("Cost of absent block reported ok")
+	}
+}
+
+func TestNonDemandAccruesNothing(t *testing.T) {
+	m := New(Config{Entries: 4})
+	m.Allocate(1, false, 0)
+	if m.OutstandingDemand() != 0 {
+		t.Fatal("non-demand entry counted as demand")
+	}
+	if cost := m.Free(1, 100); cost != 0 {
+		t.Fatalf("non-demand cost = %v, want 0", cost)
+	}
+}
+
+func TestDemandUpgradeStartsCharging(t *testing.T) {
+	m := New(Config{Entries: 4})
+	m.Allocate(1, false, 0)
+	m.Allocate(1, true, 100) // demand merge upgrades
+	if m.OutstandingDemand() != 1 {
+		t.Fatal("upgrade did not mark demand")
+	}
+	if cost := m.Free(1, 200); math.Abs(cost-100) > 1e-9 {
+		t.Fatalf("upgraded cost = %v, want 100 (charged from upgrade)", cost)
+	}
+}
+
+func TestCostCap(t *testing.T) {
+	m := New(Config{Entries: 4, CostCap: 100})
+	m.Allocate(1, true, 0)
+	if cost := m.Free(1, 10_000); cost != 100 {
+		t.Fatalf("capped cost = %v, want 100", cost)
+	}
+}
+
+// Property (cost conservation): with only demand misses, the total cost
+// accrued across all entries equals the number of cycles during which at
+// least one demand miss was outstanding — Algorithm 1 hands out exactly
+// one cycle of cost per busy cycle.
+func TestCostConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := New(Config{Entries: 8})
+		inflight := map[uint64]bool{}
+		var total float64
+		var busy uint64
+		cycle := uint64(0)
+		for step := 0; step < 400; step++ {
+			cycle++
+			if m.OutstandingDemand() > 0 {
+				busy++
+			}
+			m.Tick(cycle)
+			switch r.Intn(3) {
+			case 0:
+				b := uint64(r.Intn(20))
+				if !m.Full() || inflight[b] {
+					if primary, full := m.Allocate(b, true, cycle); primary && !full {
+						inflight[b] = true
+					}
+				}
+			case 1:
+				for b := range inflight {
+					total += m.Free(b, cycle)
+					delete(inflight, b)
+					break
+				}
+			}
+		}
+		for b := range inflight {
+			total += m.Free(b, cycle)
+		}
+		return math.Abs(total-float64(busy)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The 4-adder time-shared approximation must track the exact computation
+// closely (the paper reports a negligible difference).
+func TestAdderSharingApproximation(t *testing.T) {
+	run := func(adders int) (costs []float64) {
+		m := New(Config{Entries: 32, Adders: adders})
+		r := rand.New(rand.NewSource(5))
+		inflight := []uint64{}
+		next := uint64(0)
+		for cycle := uint64(1); cycle <= 20_000; cycle++ {
+			m.Tick(cycle)
+			if r.Intn(50) == 0 && !m.Full() {
+				m.Allocate(next, true, cycle)
+				inflight = append(inflight, next)
+				next++
+			}
+			if r.Intn(60) == 0 && len(inflight) > 0 {
+				costs = append(costs, m.Free(inflight[0], cycle))
+				inflight = inflight[1:]
+			}
+		}
+		for _, b := range inflight {
+			costs = append(costs, m.Free(b, 20_000))
+		}
+		return costs
+	}
+	exact := run(0)
+	shared := run(4)
+	if len(exact) != len(shared) {
+		t.Fatalf("run shapes differ: %d vs %d", len(exact), len(shared))
+	}
+	var sumE, sumS float64
+	for i := range exact {
+		sumE += exact[i]
+		sumS += shared[i]
+	}
+	if sumE == 0 {
+		t.Fatal("degenerate run")
+	}
+	rel := math.Abs(sumS-sumE) / sumE
+	if rel > 0.05 {
+		t.Fatalf("adder sharing deviates %.1f%% in aggregate cost, want <= 5%%", 100*rel)
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	m := New(Config{Entries: 8})
+	for b := uint64(0); b < 5; b++ {
+		m.Allocate(b, true, 0)
+	}
+	m.Free(0, 10)
+	if m.Peak != 5 {
+		t.Fatalf("Peak = %d, want 5", m.Peak)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}

@@ -1,0 +1,205 @@
+// Package sim wires the substrates — out-of-order core, two-level cache
+// hierarchy, MSHR cost-calculation logic, and DRAM — into the full
+// baseline machine of the paper's Table 2, runs instruction streams
+// through it, and gathers the statistics every experiment in the paper is
+// built from: IPC, miss counts, compulsory-miss fractions, the mlp-cost
+// histogram of Figure 2, the per-block cost deltas of Table 1, and the
+// Figure 11 time series.
+package sim
+
+import (
+	"fmt"
+
+	"mlpcache/internal/cache"
+	"mlpcache/internal/core"
+	"mlpcache/internal/cpu"
+	"mlpcache/internal/dram"
+	"mlpcache/internal/mshr"
+	"mlpcache/internal/prefetch"
+)
+
+// PolicyKind names an L2 replacement configuration.
+type PolicyKind string
+
+// Supported replacement configurations.
+const (
+	PolicyLRU       PolicyKind = "lru"
+	PolicyFIFO      PolicyKind = "fifo"
+	PolicyRandom    PolicyKind = "random"
+	PolicyNMRU      PolicyKind = "nmru"
+	PolicyLIN       PolicyKind = "lin"
+	PolicyBCL       PolicyKind = "bcl"
+	PolicyDCL       PolicyKind = "dcl"
+	PolicyDIP       PolicyKind = "dip"
+	PolicySBAR      PolicyKind = "sbar"
+	PolicyCBSLocal  PolicyKind = "cbs-local"
+	PolicyCBSGlobal PolicyKind = "cbs-global"
+)
+
+// PolicySpec selects and parameterizes the L2 replacement policy.
+type PolicySpec struct {
+	Kind PolicyKind
+	// Lambda is LIN's λ (default 4); used by LIN, SBAR and CBS.
+	Lambda int
+	// LeaderSets is SBAR's K (default 32).
+	LeaderSets int
+	// PselBits sizes the selector counter (default 6; CBS-global 7).
+	PselBits int
+	// RandDynamic selects SBAR's rand-dynamic leader selection instead
+	// of simple-static.
+	RandDynamic bool
+	// Seed seeds stochastic policies (random replacement, rand-dynamic).
+	Seed uint64
+}
+
+// String renders a short label ("lin4", "sbar/32").
+func (p PolicySpec) String() string {
+	switch p.Kind {
+	case PolicyLIN:
+		return fmt.Sprintf("lin%d", p.lambda())
+	case PolicySBAR:
+		sel := "static"
+		if p.RandDynamic {
+			sel = "rand"
+		}
+		return fmt.Sprintf("sbar/%d/%s", p.leaderSets(), sel)
+	default:
+		return string(p.Kind)
+	}
+}
+
+func (p PolicySpec) lambda() int {
+	if p.Lambda == 0 {
+		return 4
+	}
+	return p.Lambda
+}
+
+func (p PolicySpec) leaderSets() int {
+	if p.LeaderSets == 0 {
+		return 32
+	}
+	return p.LeaderSets
+}
+
+// Config is the full machine and run configuration.
+type Config struct {
+	CPU  cpu.Config
+	L1   cache.Config
+	L2   cache.Config
+	MSHR mshr.Config
+	DRAM dram.Config
+
+	// L1Lat and L2Lat are hit latencies in cycles (2 and 15).
+	L1Lat uint64
+	L2Lat uint64
+
+	Policy PolicySpec
+
+	// MaxInstructions bounds the run (0: until the source drains).
+	MaxInstructions uint64
+	// MaxCycles is a deadlock guard (0: derived from MaxInstructions).
+	MaxCycles uint64
+	// SampleInterval, when non-zero, records the Figure 11 time series
+	// every that many retired instructions.
+	SampleInterval uint64
+	// EpochInstructions is the rand-dynamic leader reselection period
+	// (the paper uses 25M; scaled runs use less). 0 disables epochs.
+	EpochInstructions uint64
+	// ModelWritebacks sends dirty L2 evictions to DRAM, consuming bank
+	// and bus bandwidth.
+	ModelWritebacks bool
+	// TrackDeltas enables the Table 1 per-block delta statistics.
+	TrackDeltas bool
+	// MissHook, when set, observes every serviced L2 miss (instrumentation
+	// for workload analysis and tests).
+	MissHook func(addr uint64, costQ uint8)
+	// DisableFastForward forces strict cycle-by-cycle simulation. The
+	// fast-forward optimization is exact (tests assert equivalence), so
+	// this exists only for those tests and for debugging.
+	DisableFastForward bool
+	// Prefetch enables an L2 stride prefetcher (nil: off, the paper's
+	// baseline). Prefetch requests occupy MSHR entries as non-demand
+	// misses: Algorithm 1 charges them no cost unless a demand access
+	// merges into them, at which point the cost clock starts — the
+	// paper's definition of a demand miss, kept intact.
+	Prefetch *prefetch.Config
+}
+
+// DefaultConfig returns the paper's baseline machine (Table 2) with LRU
+// replacement and no run bound.
+func DefaultConfig() Config {
+	return Config{
+		CPU: cpu.DefaultConfig(),
+		L1: cache.Config{
+			SizeBytes:  16 * 1024,
+			Assoc:      4,
+			BlockBytes: 64,
+		},
+		L2: cache.Config{
+			SizeBytes:  1024 * 1024,
+			Assoc:      16,
+			BlockBytes: 64,
+		},
+		MSHR:            mshr.Config{Entries: 32},
+		DRAM:            dram.Default(),
+		L1Lat:           2,
+		L2Lat:           15,
+		Policy:          PolicySpec{Kind: PolicyLRU},
+		ModelWritebacks: true,
+		TrackDeltas:     true,
+	}
+}
+
+// buildL2 constructs the L2 cache with the configured replacement policy,
+// returning the hybrid engine when one is in use.
+func buildL2(cfg Config) (*cache.Cache, core.Hybrid) {
+	l2 := cache.New(cfg.L2, nil)
+	spec := cfg.Policy
+	switch spec.Kind {
+	case PolicyLRU, "":
+		l2.SetPolicy(cache.NewLRU())
+	case PolicyFIFO:
+		l2.SetPolicy(cache.NewFIFO())
+	case PolicyRandom:
+		l2.SetPolicy(cache.NewRandom(spec.Seed + 1))
+	case PolicyNMRU:
+		l2.SetPolicy(cache.NewNMRU(spec.Seed + 1))
+	case PolicyLIN:
+		l2.SetPolicy(core.NewLIN(spec.lambda()))
+	case PolicyBCL:
+		l2.SetPolicy(core.NewBCL(4, l2.Config().Assoc/2))
+	case PolicyDCL:
+		l2.SetPolicy(core.NewDCL(4, l2.Config().Assoc/2))
+	case PolicyDIP:
+		// Inside the full simulator the duel is driven by real
+		// quantized costs rather than DIP's miss counting — an
+		// "MLP-weighted DIP": expensive misses push the duel harder.
+		return l2, core.NewDIP(l2, spec.leaderSets(), spec.Seed+3)
+	case PolicySBAR:
+		sets := l2.Config().Sets
+		var sel core.LeaderSelector
+		if spec.RandDynamic {
+			sel = core.NewRandDynamic(sets, spec.leaderSets(), spec.Seed+2)
+		} else {
+			sel = core.NewSimpleStatic(sets, spec.leaderSets())
+		}
+		return l2, core.NewSBAR(l2, core.SBARConfig{
+			LeaderSets: spec.leaderSets(),
+			PselBits:   spec.PselBits,
+			Lambda:     spec.lambda(),
+			Selector:   sel,
+		})
+	case PolicyCBSLocal:
+		return l2, core.NewCBS(l2, core.CBSConfig{
+			Scope: core.CBSLocal, PselBits: spec.PselBits, Lambda: spec.lambda(),
+		})
+	case PolicyCBSGlobal:
+		return l2, core.NewCBS(l2, core.CBSConfig{
+			Scope: core.CBSGlobal, PselBits: spec.PselBits, Lambda: spec.lambda(),
+		})
+	default:
+		panic(fmt.Sprintf("sim: unknown policy %q", spec.Kind))
+	}
+	return l2, nil
+}

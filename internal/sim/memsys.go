@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"container/heap"
+
+	"mlpcache/internal/cache"
+	"mlpcache/internal/core"
+	"mlpcache/internal/dram"
+	"mlpcache/internal/mshr"
+	"mlpcache/internal/prefetch"
+	"mlpcache/internal/stats"
+)
+
+// MemStats aggregates the memory-side counters the experiments consume.
+type MemStats struct {
+	// DemandMisses counts primary L2 demand misses (serviced by DRAM).
+	DemandMisses uint64
+	// MergedMisses counts L2 misses that merged into an in-flight MSHR
+	// entry for the same block.
+	MergedMisses uint64
+	// CompulsoryMisses counts first-ever references among DemandMisses.
+	CompulsoryMisses uint64
+	// L1WritebackDrops counts dirty L1 evictions whose block was absent
+	// from L2 (the data is dropped; only a counter in this model).
+	L1WritebackDrops uint64
+	// CostQSum accumulates quantized costs over serviced misses, for
+	// average-cost_q reporting.
+	CostQSum uint64
+	// Prefetch accounting: issued requests, those dropped for lack of
+	// an MSHR entry, fills later hit by demand (useful), fills evicted
+	// unused, and in-flight prefetches a demand access merged into
+	// (late — the access still waits, but less).
+	PrefetchIssued  uint64
+	PrefetchDropped uint64
+	PrefetchUseful  uint64
+	PrefetchUnused  uint64
+	PrefetchLate    uint64
+}
+
+// DeltaStats is the Table 1 measurement: the distribution of the absolute
+// difference in mlp-cost between successive misses to the same block.
+type DeltaStats struct {
+	Lt60      uint64
+	Ge60Lt120 uint64
+	Ge120     uint64
+	sum       float64
+}
+
+// Samples returns the number of deltas observed.
+func (d DeltaStats) Samples() uint64 { return d.Lt60 + d.Ge60Lt120 + d.Ge120 }
+
+// Mean returns the average delta in cycles.
+func (d DeltaStats) Mean() float64 {
+	if n := d.Samples(); n > 0 {
+		return d.sum / float64(n)
+	}
+	return 0
+}
+
+// PercentLt60 etc. return each class's share in percent.
+func (d DeltaStats) PercentLt60() float64      { return d.pct(d.Lt60) }
+func (d DeltaStats) PercentGe60Lt120() float64 { return d.pct(d.Ge60Lt120) }
+func (d DeltaStats) PercentGe120() float64     { return d.pct(d.Ge120) }
+
+func (d DeltaStats) pct(c uint64) float64 {
+	if n := d.Samples(); n > 0 {
+		return 100 * float64(c) / float64(n)
+	}
+	return 0
+}
+
+func (d *DeltaStats) add(delta float64) {
+	switch {
+	case delta < 60:
+		d.Lt60++
+	case delta < 120:
+		d.Ge60Lt120++
+	default:
+		d.Ge120++
+	}
+	d.sum += delta
+}
+
+// fill is a pending DRAM→L2 fill.
+type fill struct {
+	done     uint64
+	addr     uint64
+	write    bool // a store touched the block while the miss was in flight
+	prefetch bool // still a pure prefetch (no demand access merged)
+}
+
+type fillHeap []*fill
+
+func (h fillHeap) Len() int           { return len(h) }
+func (h fillHeap) Less(i, j int) bool { return h[i].done < h[j].done }
+func (h fillHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *fillHeap) Push(x any)        { *h = append(*h, x.(*fill)) }
+func (h *fillHeap) Pop() (out any)    { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+func (h fillHeap) Peek() *fill        { return h[0] }
+
+// memSystem is the two-level hierarchy the core issues into. It
+// implements cpu.MemSystem.
+type memSystem struct {
+	cfg    Config
+	l1     *cache.Cache
+	l2     *cache.Cache
+	mshr   *mshr.MSHR
+	dram   *dram.DRAM
+	hybrid core.Hybrid
+
+	fills    fillHeap
+	inflight map[uint64]*fill // block → pending fill
+
+	seen     map[uint64]struct{} // blocks ever demand-missed (compulsory)
+	lastCost map[uint64]float64  // block → previous mlp-cost (Table 1)
+
+	costHist *stats.Histogram // Figure 2: mlp-cost, 60-cycle bins
+	delta    DeltaStats
+	mstats   MemStats
+
+	pf         *prefetch.Prefetcher
+	prefetched map[uint64]struct{} // blocks resident via an unused prefetch
+
+	// Interval accumulators for the Figure 11 time series.
+	intMisses   uint64
+	intCostQSum uint64
+}
+
+func newMemSystem(cfg Config, l2 *cache.Cache, hybrid core.Hybrid) *memSystem {
+	m := &memSystem{
+		cfg:      cfg,
+		l1:       cache.New(cfg.L1, cache.NewLRU()),
+		l2:       l2,
+		mshr:     mshr.New(cfg.MSHR),
+		dram:     dram.New(cfg.DRAM),
+		hybrid:   hybrid,
+		inflight: make(map[uint64]*fill),
+		seen:     make(map[uint64]struct{}),
+		lastCost: make(map[uint64]float64),
+		costHist: stats.NewHistogram(60, 8),
+	}
+	if cfg.Prefetch != nil {
+		m.pf = prefetch.New(*cfg.Prefetch)
+		m.prefetched = make(map[uint64]struct{})
+	}
+	return m
+}
+
+// trainPrefetcher observes a demand L2 access and issues any predicted
+// prefetches: non-demand MSHR allocations that Algorithm 1 does not
+// charge.
+func (m *memSystem) trainPrefetcher(block uint64, now uint64) {
+	if m.pf == nil {
+		return
+	}
+	for _, target := range m.pf.Observe(block) {
+		addr := target * m.l2.Config().BlockBytes
+		if m.l2.Contains(addr) || m.mshr.Pending(target) {
+			continue
+		}
+		if m.mshr.Full() {
+			m.mstats.PrefetchDropped++
+			continue
+		}
+		m.mshr.Allocate(target, false, now)
+		m.mstats.PrefetchIssued++
+		done := m.dram.Read(target, now)
+		f := &fill{done: done, addr: addr, prefetch: true}
+		m.inflight[target] = f
+		heap.Push(&m.fills, f)
+	}
+}
+
+// Access implements cpu.MemSystem.
+func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
+	if m.l1.Probe(addr, write) {
+		return now + m.cfg.L1Lat, true
+	}
+	l2Hit := m.l2.Probe(addr, false)
+	block := m.l2.BlockOf(addr)
+	if l2Hit {
+		if m.prefetched != nil {
+			if _, ok := m.prefetched[block]; ok {
+				delete(m.prefetched, block)
+				m.mstats.PrefetchUseful++
+			}
+		}
+		if m.hybrid != nil {
+			m.hybrid.OnAccess(addr, write, true, false)
+		}
+		m.fillL1(addr, write)
+		m.trainPrefetcher(block, now)
+		return now + m.cfg.L1Lat + m.cfg.L2Lat, true
+	}
+	// L2 demand miss.
+	if f, ok := m.inflight[block]; ok {
+		// Merge into the in-flight miss (or claim an in-flight
+		// prefetch); completes with it.
+		m.mshr.Allocate(block, true, now)
+		f.write = f.write || write
+		if f.prefetch {
+			// A late prefetch: the demand access still waits, but
+			// the cost clock only starts now (demand upgrade).
+			f.prefetch = false
+			m.mstats.PrefetchLate++
+			m.mstats.DemandMisses++
+			if _, ok := m.seen[block]; !ok {
+				m.seen[block] = struct{}{}
+				m.mstats.CompulsoryMisses++
+			}
+			if m.hybrid != nil {
+				m.hybrid.OnAccess(addr, write, false, true)
+			}
+		} else {
+			m.mstats.MergedMisses++
+			if m.hybrid != nil {
+				m.hybrid.OnAccess(addr, write, false, false)
+			}
+		}
+		m.trainPrefetcher(block, now)
+		return f.done, true
+	}
+	if m.mshr.Full() {
+		return 0, false // structural stall; the core retries
+	}
+	m.mshr.Allocate(block, true, now)
+	if m.hybrid != nil {
+		m.hybrid.OnAccess(addr, write, false, true)
+	}
+	m.mstats.DemandMisses++
+	if _, ok := m.seen[block]; !ok {
+		m.seen[block] = struct{}{}
+		m.mstats.CompulsoryMisses++
+	}
+	done := m.dram.Read(block, now+m.cfg.L1Lat+m.cfg.L2Lat)
+	f := &fill{done: done, addr: addr, write: write}
+	m.inflight[block] = f
+	heap.Push(&m.fills, f)
+	m.trainPrefetcher(block, now)
+	return done, true
+}
+
+// Tick advances the memory side by one cycle: the MSHR cost calculation
+// logic runs (Algorithm 1), then any DRAM fills due this cycle install
+// into the hierarchy.
+func (m *memSystem) Tick(now uint64) {
+	m.mshr.Tick(now)
+	for len(m.fills) > 0 && m.fills.Peek().done <= now {
+		f := heap.Pop(&m.fills).(*fill)
+		m.service(f, now)
+	}
+}
+
+func (m *memSystem) service(f *fill, now uint64) {
+	block := m.l2.BlockOf(f.addr)
+	delete(m.inflight, block)
+	cost := m.mshr.Free(block, now)
+
+	if f.prefetch {
+		// A pure prefetch fill: no demand miss to account, no cost.
+		ev, evicted := m.l2.Fill(f.addr, 0, false)
+		if evicted {
+			if _, ok := m.prefetched[ev.Block]; ok {
+				delete(m.prefetched, ev.Block)
+				m.mstats.PrefetchUnused++
+			}
+			if ev.Dirty && m.cfg.ModelWritebacks {
+				m.dram.Write(ev.Block, now)
+			}
+		}
+		m.prefetched[block] = struct{}{}
+		return
+	}
+
+	m.costHist.Add(cost)
+	if m.cfg.TrackDeltas {
+		if prev, ok := m.lastCost[block]; ok {
+			d := cost - prev
+			if d < 0 {
+				d = -d
+			}
+			m.delta.add(d)
+		}
+		m.lastCost[block] = cost
+	}
+
+	costQ := core.Quantize(cost)
+	if m.cfg.MissHook != nil {
+		m.cfg.MissHook(f.addr, costQ)
+	}
+	m.mstats.CostQSum += uint64(costQ)
+	m.intMisses++
+	m.intCostQSum += uint64(costQ)
+
+	ev, evicted := m.l2.Fill(f.addr, costQ, false)
+	if evicted {
+		if m.prefetched != nil {
+			if _, ok := m.prefetched[ev.Block]; ok {
+				delete(m.prefetched, ev.Block)
+				m.mstats.PrefetchUnused++
+			}
+		}
+		if ev.Dirty && m.cfg.ModelWritebacks {
+			m.dram.Write(ev.Block, now)
+		}
+	}
+	if m.hybrid != nil {
+		m.hybrid.OnFill(f.addr, costQ)
+	}
+	m.fillL1(f.addr, f.write)
+}
+
+// fillL1 installs the block into the L1, sinking any dirty victim into
+// the L2's dirty bit.
+func (m *memSystem) fillL1(addr uint64, write bool) {
+	ev, evicted := m.l1.Fill(addr, 0, write)
+	if evicted && ev.Dirty {
+		if !m.l2.MarkDirty(ev.Block * m.l1.Config().BlockBytes) {
+			m.mstats.L1WritebackDrops++
+		}
+	}
+}
+
+// takeInterval returns and resets the Figure 11 interval accumulators.
+func (m *memSystem) takeInterval() (misses, costQSum uint64) {
+	misses, costQSum = m.intMisses, m.intCostQSum
+	m.intMisses, m.intCostQSum = 0, 0
+	return misses, costQSum
+}
+
+// drainInflight reports whether misses are still outstanding (used to let
+// the run loop wind down cleanly).
+func (m *memSystem) drainInflight() bool { return len(m.fills) > 0 }
+
+// nextFill returns the cycle of the earliest pending DRAM fill, or
+// ^uint64(0) when none is outstanding.
+func (m *memSystem) nextFill() uint64 {
+	if len(m.fills) == 0 {
+		return ^uint64(0)
+	}
+	return m.fills.Peek().done
+}

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+
+	"mlpcache/internal/bpred"
+	"mlpcache/internal/cache"
+	"mlpcache/internal/core"
+	"mlpcache/internal/cpu"
+	"mlpcache/internal/dram"
+	"mlpcache/internal/stats"
+	"mlpcache/internal/trace"
+)
+
+// SeriesSet is the Figure 11 time-series bundle: each point covers one
+// SampleInterval of retired instructions.
+type SeriesSet struct {
+	// AvgCostQ is the average quantized MLP-based cost per serviced
+	// miss in the interval.
+	AvgCostQ stats.Series
+	// MPKI is L2 demand misses per thousand retired instructions.
+	MPKI stats.Series
+	// IPC is retired instructions per cycle over the interval.
+	IPC stats.Series
+	// UsingLIN samples whether a hybrid policy had LIN selected for
+	// follower sets at each interval boundary (1.0) or LRU (0.0);
+	// empty for fixed policies.
+	UsingLIN stats.Series
+}
+
+// Result bundles everything a run measured.
+type Result struct {
+	// Policy is the replacement configuration's label.
+	Policy string
+	// Instructions and Cycles are the run totals; IPC their ratio.
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	CPU   cpu.Stats
+	Bpred bpred.Stats
+	L1    cache.Stats
+	L2    cache.Stats
+	DRAM  dram.Stats
+	Mem   MemStats
+
+	// CostHist is the Figure 2 mlp-cost distribution (60-cycle bins,
+	// final bin 420+) over serviced demand misses.
+	CostHist *stats.Histogram
+	// Delta is the Table 1 successive-miss cost-delta distribution.
+	Delta DeltaStats
+	// Hybrid carries the selection counters when a hybrid policy ran.
+	Hybrid *core.HybridStats
+	// Series is non-nil when Config.SampleInterval was set.
+	Series *SeriesSet
+}
+
+// MissesServiced returns the number of primary L2 demand misses.
+func (r Result) MissesServiced() uint64 { return r.Mem.DemandMisses }
+
+// AvgMLPCost returns the mean MLP-based cost per serviced miss in cycles.
+func (r Result) AvgMLPCost() float64 { return r.CostHist.Mean() }
+
+// AvgCostQ returns the mean quantized cost per serviced miss.
+func (r Result) AvgCostQ() float64 {
+	if r.Mem.DemandMisses == 0 {
+		return 0
+	}
+	return float64(r.Mem.CostQSum) / float64(r.Mem.DemandMisses)
+}
+
+// MPKI returns L2 demand misses per thousand instructions.
+func (r Result) MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Mem.DemandMisses) / float64(r.Instructions)
+}
+
+// CompulsoryPercent returns the compulsory share of demand misses.
+func (r Result) CompulsoryPercent() float64 {
+	if r.Mem.DemandMisses == 0 {
+		return 0
+	}
+	return 100 * float64(r.Mem.CompulsoryMisses) / float64(r.Mem.DemandMisses)
+}
+
+// IPCDeltaPercent returns this run's IPC improvement over a baseline run
+// in percent.
+func (r Result) IPCDeltaPercent(baseline Result) float64 {
+	if baseline.IPC == 0 {
+		return 0
+	}
+	return 100 * (r.IPC - baseline.IPC) / baseline.IPC
+}
+
+// MissDeltaPercent returns the change in serviced misses relative to a
+// baseline run in percent (negative means fewer misses).
+func (r Result) MissDeltaPercent(baseline Result) float64 {
+	if baseline.Mem.DemandMisses == 0 {
+		return 0
+	}
+	return 100 * (float64(r.Mem.DemandMisses) - float64(baseline.Mem.DemandMisses)) /
+		float64(baseline.Mem.DemandMisses)
+}
+
+// Run executes the instruction source on the configured machine until
+// MaxInstructions retire, the source drains, or the cycle guard trips.
+func Run(cfg Config, src trace.Source) Result {
+	if cfg.MaxInstructions > 0 {
+		src = trace.NewLimit(src, int(cfg.MaxInstructions))
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		if cfg.MaxInstructions > 0 {
+			// Generous guard: even a pure chain of isolated misses
+			// retires one instruction per ~460 cycles.
+			maxCycles = cfg.MaxInstructions*2048 + 1_000_000
+		} else {
+			maxCycles = 1 << 40
+		}
+	}
+
+	l2, hybrid := buildL2(cfg)
+	mem := newMemSystem(cfg, l2, hybrid)
+	c := cpu.New(cfg.CPU, mem, src)
+
+	var ser *SeriesSet
+	if cfg.SampleInterval > 0 {
+		ser = &SeriesSet{
+			AvgCostQ: stats.Series{Name: "avg-costq-per-miss"},
+			MPKI:     stats.Series{Name: "mpki"},
+			IPC:      stats.Series{Name: "ipc"},
+			UsingLIN: stats.Series{Name: "lin-selected"},
+		}
+	}
+
+	var (
+		now         uint64
+		retired     uint64
+		nextSample  = cfg.SampleInterval
+		sampleCycle uint64
+		nextEpoch   = cfg.EpochInstructions
+	)
+	for now = 1; now <= maxCycles; now++ {
+		mem.Tick(now)
+		retired += uint64(c.Cycle(now))
+
+		if ser != nil && retired >= nextSample {
+			misses, costQSum := mem.takeInterval()
+			intInstr := cfg.SampleInterval
+			intCycles := now - sampleCycle
+			if intCycles > 0 {
+				ser.IPC.Add(retired, float64(intInstr)/float64(intCycles))
+			}
+			ser.MPKI.Add(retired, 1000*float64(misses)/float64(intInstr))
+			avg := 0.0
+			if misses > 0 {
+				avg = float64(costQSum) / float64(misses)
+			}
+			ser.AvgCostQ.Add(retired, avg)
+			if hybrid != nil {
+				v := 0.0
+				if hybrid.UsingLIN(1) {
+					v = 1.0
+				}
+				ser.UsingLIN.Add(retired, v)
+			}
+			sampleCycle = now
+			nextSample += cfg.SampleInterval
+		}
+		if hybrid != nil && cfg.EpochInstructions > 0 && retired >= nextEpoch {
+			hybrid.AdvanceEpoch()
+			nextEpoch += cfg.EpochInstructions
+		}
+		if c.Finished() && !mem.drainInflight() {
+			break
+		}
+		// Fast-forward through stall cycles: when the core made no
+		// progress this cycle, nothing can change until its next
+		// completion event or the next DRAM fill.
+		if !c.DidWork() && !cfg.DisableFastForward {
+			wake := c.NextEvent(now)
+			if nf := mem.nextFill(); nf < wake {
+				wake = nf
+			}
+			if wake == ^uint64(0) {
+				break // wedged: nothing in flight, nothing to do
+			}
+			if wake > now+1 {
+				c.NoteSkipped(wake - now - 1)
+				now = wake - 1
+			}
+		}
+	}
+
+	res := Result{
+		Policy:       cfg.Policy.String(),
+		Instructions: retired,
+		Cycles:       now,
+		CPU:          c.Stats(),
+		Bpred:        c.PredictorStats(),
+		L1:           mem.l1.Stats(),
+		L2:           mem.l2.Stats(),
+		DRAM:         mem.dram.Stats(),
+		Mem:          mem.mstats,
+		CostHist:     mem.costHist,
+		Delta:        mem.delta,
+		Series:       ser,
+	}
+	if now > 0 {
+		res.IPC = float64(retired) / float64(now)
+	}
+	if hybrid != nil {
+		hs := statsOf(hybrid)
+		res.Hybrid = &hs
+	}
+	return res
+}
+
+func statsOf(h core.Hybrid) core.HybridStats {
+	switch v := h.(type) {
+	case *core.SBAR:
+		return v.Stats()
+	case *core.CBS:
+		return v.Stats()
+	default:
+		return core.HybridStats{}
+	}
+}
+
+// Summary renders a one-paragraph textual report of a result.
+func (r Result) Summary() string {
+	return fmt.Sprintf(
+		"policy=%s instr=%d cycles=%d IPC=%.4f L2miss=%d (merged %d, compulsory %.1f%%) "+
+			"MPKI=%.2f avg-mlp-cost=%.1f mem-stall=%d cycles",
+		r.Policy, r.Instructions, r.Cycles, r.IPC,
+		r.Mem.DemandMisses, r.Mem.MergedMisses, r.CompulsoryPercent(),
+		r.MPKI(), r.AvgMLPCost(), r.CPU.MemStallCycles)
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramPaperBinning(t *testing.T) {
+	h := NewHistogram(60, 8) // the Figure 2 axes
+	for _, v := range []float64{0, 59.9, 60, 119, 420, 444, 9999} {
+		h.Add(v)
+	}
+	bins := h.Bins()
+	if bins[0] != 2 || bins[1] != 2 || bins[7] != 3 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.BinLabel(0) != "0-59" || h.BinLabel(7) != "420+" {
+		t.Fatalf("labels: %q %q", h.BinLabel(0), h.BinLabel(7))
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := NewHistogram(60, 8)
+	h.Add(-5)
+	if h.Bins()[0] != 1 {
+		t.Fatal("negative sample should land in bin 0")
+	}
+}
+
+func TestHistogramPercentAndMean(t *testing.T) {
+	h := NewHistogram(10, 2)
+	h.Add(5)
+	h.Add(5)
+	h.Add(100)
+	h.Add(200)
+	pct := h.Percent()
+	if pct[0] != 50 || pct[1] != 50 {
+		t.Fatalf("percent = %v", pct)
+	}
+	if got := h.Mean(); math.Abs(got-77.5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	h.Reset()
+	if h.Total() != 0 || h.Mean() != 0 {
+		t.Fatal("reset failed")
+	}
+	if p := h.Percent(); p[0] != 0 {
+		t.Fatal("empty percent should be zero")
+	}
+}
+
+// Property: percentages always sum to ~100 for non-empty histograms and
+// every sample lands in exactly one bin.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram(60, 8)
+		for _, v := range vals {
+			h.Add(math.Abs(v))
+		}
+		var binSum uint64
+		for _, b := range h.Bins() {
+			binSum += b
+		}
+		if binSum != uint64(len(vals)) {
+			return false
+		}
+		var pctSum float64
+		for _, p := range h.Percent() {
+			pctSum += p
+		}
+		return math.Abs(pctSum-100) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSparkline(t *testing.T) {
+	h := NewHistogram(60, 8)
+	if got := len([]rune(h.Sparkline())); got != 8 {
+		t.Fatalf("empty sparkline has %d runes, want 8", got)
+	}
+	h.Add(444)
+	s := []rune(h.Sparkline())
+	if s[7] != '█' {
+		t.Fatalf("full bin should render as █, got %q", string(s[7]))
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0, 8)
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	m.Add(2)
+	m.Add(4)
+	if m.Value() != 3 || m.N() != 2 {
+		t.Fatalf("mean=%v n=%d", m.Value(), m.N())
+	}
+	m.Reset()
+	if m.N() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if _, _, ok := s.MinMax(); ok {
+		t.Fatal("empty series MinMax should report !ok")
+	}
+	s.Add(100, 1.5)
+	s.Add(200, 0.5)
+	s.Add(300, 2.5)
+	min, max, ok := s.MinMax()
+	if !ok || min != 0.5 || max != 2.5 {
+		t.Fatalf("MinMax = %v %v %v", min, max, ok)
+	}
+	vals := s.Values()
+	if len(vals) != 3 || vals[1] != 0.5 {
+		t.Fatalf("Values = %v", vals)
+	}
+}

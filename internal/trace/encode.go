@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format, used by cmd/mlptrace to persist generated streams:
+//
+//	magic   "MLPT\x01"
+//	records repeated until EOF:
+//	  flags   1 byte: bits 0-2 Kind, bit 3 Mispredict, bit 4 hasDep,
+//	          bit 5 hasAddr
+//	  dep     uvarint (present if hasDep)
+//	  addr    uvarint, delta-encoded against the previous address as a
+//	          zig-zag signed difference (present if hasAddr)
+//
+// Delta encoding keeps strided streams near one byte per record.
+
+var magic = []byte("MLPT\x01")
+
+// ErrBadMagic is returned by NewReader when the input does not start with
+// the trace file magic.
+var ErrBadMagic = errors.New("trace: bad magic (not a trace file)")
+
+const (
+	flagKindMask   = 0x07
+	flagMispredict = 1 << 3
+	flagHasDep     = 1 << 4
+	flagHasAddr    = 1 << 5
+	flagTaken      = 1 << 6
+)
+
+// Writer encodes instructions to an underlying stream.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	wroteHdr bool
+	scratch  [2*binary.MaxVarintLen64 + 1]byte
+}
+
+// NewWriter returns a Writer that encodes to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one instruction record.
+func (tw *Writer) Write(in Instr) error {
+	if !tw.wroteHdr {
+		if _, err := tw.w.Write(magic); err != nil {
+			return err
+		}
+		tw.wroteHdr = true
+	}
+	flags := byte(in.Kind) & flagKindMask
+	if in.Mispredict {
+		flags |= flagMispredict
+	}
+	if in.Dep != 0 {
+		flags |= flagHasDep
+	}
+	if in.Kind.IsMem() || (in.Kind == Branch && in.Addr != 0) {
+		flags |= flagHasAddr
+	}
+	if in.Taken {
+		flags |= flagTaken
+	}
+	buf := tw.scratch[:0]
+	buf = append(buf, flags)
+	if flags&flagHasDep != 0 {
+		buf = binary.AppendUvarint(buf, uint64(in.Dep))
+	}
+	if flags&flagHasAddr != 0 {
+		delta := int64(in.Addr) - int64(tw.prevAddr)
+		buf = binary.AppendVarint(buf, delta)
+		tw.prevAddr = in.Addr
+	}
+	_, err := tw.w.Write(buf)
+	return err
+}
+
+// Flush writes any buffered data to the underlying stream. Call it once
+// after the last Write.
+func (tw *Writer) Flush() error {
+	if !tw.wroteHdr {
+		if _, err := tw.w.Write(magic); err != nil {
+			return err
+		}
+		tw.wroteHdr = true
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a trace stream. It implements Source; decode errors are
+// surfaced through Err after Next reports false.
+type Reader struct {
+	r        *bufio.Reader
+	prevAddr uint64
+	err      error
+}
+
+// NewReader validates the magic and returns a Reader over r.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i := range magic {
+		if hdr[i] != magic[i] {
+			return nil, ErrBadMagic
+		}
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next decodes the next instruction. It reports false at end of stream or
+// on a decode error; check Err to distinguish.
+func (tr *Reader) Next() (Instr, bool) {
+	if tr.err != nil {
+		return Instr{}, false
+	}
+	flags, err := tr.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			tr.err = err
+		}
+		return Instr{}, false
+	}
+	var in Instr
+	in.Kind = Kind(flags & flagKindMask)
+	if in.Kind >= numKinds {
+		tr.err = fmt.Errorf("trace: invalid kind %d", in.Kind)
+		return Instr{}, false
+	}
+	in.Mispredict = flags&flagMispredict != 0
+	in.Taken = flags&flagTaken != 0
+	if flags&flagHasDep != 0 {
+		d, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			tr.err = fmt.Errorf("trace: reading dep: %w", err)
+			return Instr{}, false
+		}
+		if d > 1<<31-1 {
+			tr.err = fmt.Errorf("trace: dep %d out of range", d)
+			return Instr{}, false
+		}
+		in.Dep = int32(d)
+	}
+	if flags&flagHasAddr != 0 {
+		delta, err := binary.ReadVarint(tr.r)
+		if err != nil {
+			tr.err = fmt.Errorf("trace: reading addr: %w", err)
+			return Instr{}, false
+		}
+		in.Addr = uint64(int64(tr.prevAddr) + delta)
+		tr.prevAddr = in.Addr
+	}
+	return in, true
+}
+
+// Err returns the first decode error encountered, or nil if the stream
+// ended cleanly.
+func (tr *Reader) Err() error { return tr.err }

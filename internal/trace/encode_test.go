@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, ins []Instr) []Instr {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, in := range ins {
+		if err := w.Write(in); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	out := Collect(r, len(ins)+10)
+	if r.Err() != nil {
+		t.Fatalf("Reader error: %v", r.Err())
+	}
+	return out
+}
+
+func TestEncodeRoundTripBasic(t *testing.T) {
+	ins := []Instr{
+		{Kind: Int},
+		{Kind: Load, Addr: 4096, Dep: 3},
+		{Kind: Store, Addr: 64},
+		{Kind: Branch, Mispredict: true},
+		{Kind: Load, Addr: 1 << 40},
+		{Kind: Div, Dep: 1},
+	}
+	got := roundTrip(t, ins)
+	if !reflect.DeepEqual(got, ins) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, ins)
+	}
+}
+
+// Property: any generated instruction stream round-trips exactly.
+func TestEncodeRoundTripProperty(t *testing.T) {
+	gen := func(seed int64, n int) []Instr {
+		r := rand.New(rand.NewSource(seed))
+		ins := make([]Instr, n)
+		for i := range ins {
+			k := Kind(r.Intn(int(numKinds)))
+			in := Instr{Kind: k}
+			if k.IsMem() {
+				in.Addr = r.Uint64() >> uint(r.Intn(40))
+			}
+			if r.Intn(3) == 0 {
+				in.Dep = int32(r.Intn(200) + 1)
+			}
+			if k == Branch {
+				in.Mispredict = r.Intn(2) == 0
+			}
+			ins[i] = in
+		}
+		return ins
+	}
+	f := func(seed int64, nRaw uint8) bool {
+		ins := gen(seed, int(nRaw)+1)
+		return reflect.DeepEqual(roundTrip(t, ins), ins)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeEmptyStream(t *testing.T) {
+	got := roundTrip(t, nil)
+	if len(got) != 0 {
+		t.Fatalf("empty stream decoded %d instructions", len(got))
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderShortHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("ML"))); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Instr{Kind: Load, Addr: 123456}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-1]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("expected decode failure on truncated record")
+	}
+	if r.Err() == nil {
+		t.Fatal("expected Reader.Err to report the truncation")
+	}
+}
+
+func TestEncodeDensity(t *testing.T) {
+	// Strided streams should encode compactly thanks to address deltas.
+	src := NewStream(StreamConfig{Blocks: 1000, Seed: 1})
+	ins := Collect(src, 10000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, in := range ins {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()) / float64(len(ins))
+	if perRecord > 4 {
+		t.Fatalf("encoding too loose: %.2f bytes/record", perRecord)
+	}
+}

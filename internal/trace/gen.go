@@ -1,0 +1,497 @@
+package trace
+
+// This file implements the workload generator combinators. Each generator
+// produces an unbounded instruction stream; internal/workload composes them
+// into models of the paper's SPEC CPU2000 benchmarks.
+//
+// Dependence semantics: a generator emits Dep distances relative to its own
+// output stream. The interleaving combinators (Mix, Phases) rewrite those
+// distances so they remain correct in the merged stream; see interleaver.
+
+// queued is a helper base for generators that naturally produce
+// instructions in batches. refill must append at least one instruction.
+type queued struct {
+	buf    []Instr
+	pos    int
+	refill func(buf []Instr) []Instr
+}
+
+func (q *queued) Next() (Instr, bool) {
+	if q.pos >= len(q.buf) {
+		q.buf = q.refill(q.buf[:0])
+		q.pos = 0
+		if len(q.buf) == 0 {
+			return Instr{}, false
+		}
+	}
+	in := q.buf[q.pos]
+	q.pos++
+	return in, true
+}
+
+// sameBlockTouches appends n loads to further words of the just-accessed
+// block, each depending on the previous access. Real programs touch a
+// fetched block several times (spatial locality); these extra loads hit
+// the L1 and give the models realistic L1 hit rates and compute density
+// without changing L2 behaviour.
+func sameBlockTouches(buf []Instr, addr uint64, n int) []Instr {
+	for i := 0; i < n; i++ {
+		buf = append(buf, Instr{Kind: Load, Addr: addr + uint64(8*(i+1)), Dep: 1})
+	}
+	return buf
+}
+
+// fillerRun appends gap filler instructions using rng: mostly single-cycle
+// integer ops with an occasional branch so the stream exercises the front
+// end. mispredict gives the per-branch misprediction probability used in
+// oracle mode; for predictor mode every branch also carries a static id
+// (in Addr) and an actual outcome (Taken): most dynamic branches come
+// from well-behaved "loop" branches that are almost always taken, the
+// rest from noisier data-dependent ones.
+func fillerRun(buf []Instr, gap int, rng *RNG, fpFrac, mispredict float64) []Instr {
+	for i := 0; i < gap; i++ {
+		switch {
+		case rng.Bool(1.0/16) && gap > 1:
+			id := uint64(rng.Intn(16))
+			taken := rng.Bool(0.98)
+			if id >= 14 { // data-dependent branches
+				taken = rng.Bool(0.65)
+			}
+			buf = append(buf, Instr{
+				Kind:       Branch,
+				Addr:       id,
+				Taken:      taken,
+				Mispredict: rng.Bool(mispredict),
+			})
+		case rng.Bool(fpFrac):
+			buf = append(buf, Instr{Kind: FP})
+		default:
+			buf = append(buf, Instr{Kind: Int})
+		}
+	}
+	return buf
+}
+
+// ChaseConfig parameterizes a pointer-chasing load stream: every load
+// depends on the value returned by the previous load, so misses to
+// uncached blocks serialize and surface as the paper's "isolated misses".
+type ChaseConfig struct {
+	Base       uint64  // first byte of the region
+	Blocks     int     // number of distinct blocks in the chase ring
+	BlockBytes uint64  // cache block size (64 in the baseline)
+	Gap        int     // filler instructions between consecutive loads
+	Touches    int     // extra dependent same-block loads per visit (L1 hits)
+	Stores     float64 // probability a visit also writes the block
+	FPFrac     float64 // fraction of filler that is FP
+	Mispredict float64 // branch misprediction probability in filler
+	Reshuffle  bool    // re-randomize visit order every lap
+	// Cold makes the chase walk ever-fresh blocks instead of a ring:
+	// every miss is isolated AND compulsory, and the block is never
+	// touched again. Under MLP-aware replacement such blocks become
+	// dead high-cost residue — the pollution that makes LIN lose on
+	// the paper's high-delta benchmarks.
+	Cold bool
+	// RunLen/SkipLen shape a cold walk's footprint: RunLen consecutive
+	// blocks are visited, then SkipLen are skipped. Because a cache set
+	// is selected by block number modulo the set count, a run/skip
+	// pattern confines the pollution to a fraction of the sets, which
+	// tunes how much of a co-resident working set the dead residue
+	// starves. Zero values mean a plain sequential walk.
+	RunLen  int
+	SkipLen int
+	Seed    uint64
+}
+
+type chase struct {
+	queued
+	cfg   ChaseConfig
+	rng   *RNG
+	order []int
+	pos   int
+}
+
+// NewPointerChase returns a generator that walks a randomized ring of
+// cfg.Blocks blocks. Each load's Dep points at the previous load in the
+// chain (distance Gap+1), modelling a linked-list traversal.
+func NewPointerChase(cfg ChaseConfig) Source {
+	if cfg.Blocks <= 0 {
+		panic("trace: PointerChase needs at least one block")
+	}
+	if cfg.BlockBytes == 0 {
+		cfg.BlockBytes = 64
+	}
+	c := &chase{cfg: cfg, rng: NewRNG(cfg.Seed)}
+	c.order = c.rng.Perm(cfg.Blocks)
+	c.refill = c.fill
+	return c
+}
+
+func (c *chase) fill(buf []Instr) []Instr {
+	var blk int
+	if c.cfg.Cold {
+		blk = c.pos
+		if c.cfg.RunLen > 0 {
+			blk = (c.pos/c.cfg.RunLen)*(c.cfg.RunLen+c.cfg.SkipLen) + c.pos%c.cfg.RunLen
+		}
+		c.pos++
+	} else {
+		if c.pos >= len(c.order) {
+			c.pos = 0
+			if c.cfg.Reshuffle {
+				c.order = c.rng.Perm(c.cfg.Blocks)
+			}
+		}
+		blk = c.order[c.pos]
+		c.pos++
+	}
+	addr := c.cfg.Base + uint64(blk)*c.cfg.BlockBytes
+	// The load depends on the previous load, which sits Gap+1
+	// instructions back once the filler is emitted after it.
+	buf = append(buf, Instr{Kind: Load, Addr: addr, Dep: int32(c.cfg.Gap+c.cfg.Touches) + 1})
+	buf = sameBlockTouches(buf, addr, c.cfg.Touches)
+	if c.rng.Bool(c.cfg.Stores) {
+		buf = append(buf, Instr{Kind: Store, Addr: addr, Dep: 1})
+	}
+	return fillerRun(buf, c.cfg.Gap, c.rng, c.cfg.FPFrac, c.cfg.Mispredict)
+}
+
+// StreamConfig parameterizes an independent strided load stream: loads
+// carry no dependences, so misses overlap inside the instruction window
+// and surface as the paper's "parallel misses".
+type StreamConfig struct {
+	Base        uint64
+	Blocks      int // working-set size in blocks; the sweep wraps
+	StrideBlks  int // stride between consecutive accesses, in blocks
+	BlockBytes  uint64
+	Gap         int     // filler instructions between loads
+	Touches     int     // extra dependent same-block loads per access (L1 hits)
+	Stores      float64 // probability an access is a store instead of a load
+	FPFrac      float64
+	Mispredict  float64
+	RandomOrder bool // visit blocks in a per-lap random order instead of strided
+	// Cold makes the sweep monotonic instead of wrapping: every access
+	// touches a never-seen block, so every miss is compulsory. Used to
+	// model benchmarks with large compulsory fractions (Table 3).
+	Cold bool
+	Seed uint64
+}
+
+type stream struct {
+	queued
+	cfg   StreamConfig
+	rng   *RNG
+	next  int
+	order []int
+	pos   int
+}
+
+// NewStream returns a generator that sweeps a region of cfg.Blocks blocks
+// with independent loads, wrapping around for ever. With RandomOrder the
+// sweep order is re-randomized each lap.
+func NewStream(cfg StreamConfig) Source {
+	if cfg.Blocks <= 0 {
+		panic("trace: Stream needs at least one block")
+	}
+	if cfg.BlockBytes == 0 {
+		cfg.BlockBytes = 64
+	}
+	if cfg.StrideBlks == 0 {
+		cfg.StrideBlks = 1
+	}
+	s := &stream{cfg: cfg, rng: NewRNG(cfg.Seed)}
+	s.refill = s.fill
+	return s
+}
+
+func (s *stream) fill(buf []Instr) []Instr {
+	var blk int
+	switch {
+	case s.cfg.Cold:
+		blk = s.next
+		s.next += s.cfg.StrideBlks
+	case s.cfg.RandomOrder:
+		if s.pos >= len(s.order) {
+			s.order = s.rng.Perm(s.cfg.Blocks)
+			s.pos = 0
+		}
+		blk = s.order[s.pos]
+		s.pos++
+	default:
+		blk = s.next
+		s.next = (s.next + s.cfg.StrideBlks) % s.cfg.Blocks
+	}
+	addr := s.cfg.Base + uint64(blk)*s.cfg.BlockBytes
+	kind := Load
+	if s.rng.Bool(s.cfg.Stores) {
+		kind = Store
+	}
+	buf = append(buf, Instr{Kind: kind, Addr: addr})
+	buf = sameBlockTouches(buf, addr, s.cfg.Touches)
+	return fillerRun(buf, s.cfg.Gap, s.rng, s.cfg.FPFrac, s.cfg.Mispredict)
+}
+
+// AlternatingConfig parameterizes a stream whose blocks flip between
+// pointer-chase laps (isolated misses, mlp-cost near the full memory
+// latency) and burst laps (parallel misses, low mlp-cost). Successive
+// misses to the same block therefore see wildly different mlp-cost — the
+// high-delta behaviour of bzip2, parser and mgrid in Table 1 that defeats
+// last-cost prediction.
+type AlternatingConfig struct {
+	Base       uint64
+	Blocks     int
+	BlockBytes uint64
+	ChaseGap   int // filler between loads on chase laps
+	BurstGap   int // filler between loads on burst laps
+	Touches    int // extra dependent same-block loads per visit (L1 hits)
+	FPFrac     float64
+	Mispredict float64
+	// RunLen/SkipLen lay the region out in runs of consecutive blocks
+	// separated by gaps, confining it to a fraction of the cache sets
+	// (see ChaseConfig).
+	RunLen  int
+	SkipLen int
+	Seed    uint64
+}
+
+type alternating struct {
+	queued
+	cfg   AlternatingConfig
+	rng   *RNG
+	order []int
+	pos   int
+	burst bool
+}
+
+// NewAlternating returns the high-delta generator described above.
+func NewAlternating(cfg AlternatingConfig) Source {
+	if cfg.Blocks <= 0 {
+		panic("trace: Alternating needs at least one block")
+	}
+	if cfg.BlockBytes == 0 {
+		cfg.BlockBytes = 64
+	}
+	a := &alternating{cfg: cfg, rng: NewRNG(cfg.Seed)}
+	a.order = a.rng.Perm(cfg.Blocks)
+	a.refill = a.fill
+	return a
+}
+
+func (a *alternating) fill(buf []Instr) []Instr {
+	if a.pos >= len(a.order) {
+		a.pos = 0
+		a.burst = !a.burst
+	}
+	blk := a.order[a.pos]
+	a.pos++
+	if a.cfg.RunLen > 0 {
+		blk = (blk/a.cfg.RunLen)*(a.cfg.RunLen+a.cfg.SkipLen) + blk%a.cfg.RunLen
+	}
+	addr := a.cfg.Base + uint64(blk)*a.cfg.BlockBytes
+	if a.burst {
+		buf = append(buf, Instr{Kind: Load, Addr: addr})
+		buf = sameBlockTouches(buf, addr, a.cfg.Touches)
+		return fillerRun(buf, a.cfg.BurstGap, a.rng, a.cfg.FPFrac, a.cfg.Mispredict)
+	}
+	buf = append(buf, Instr{Kind: Load, Addr: addr, Dep: int32(a.cfg.ChaseGap+a.cfg.Touches) + 1})
+	buf = sameBlockTouches(buf, addr, a.cfg.Touches)
+	return fillerRun(buf, a.cfg.ChaseGap, a.rng, a.cfg.FPFrac, a.cfg.Mispredict)
+}
+
+// depWindow is how many of a part's recent instructions an interleaver
+// remembers for dependence rewriting. Dependences reaching further back
+// are clamped to the oldest remembered instruction, which by then has
+// almost certainly retired anyway.
+const depWindow = 256
+
+// part tracks one sub-stream inside an interleaver.
+type part struct {
+	src Source
+	// ring[i%depWindow] is the absolute output index of this part's
+	// i-th emitted instruction.
+	ring  [depWindow]uint64
+	count uint64
+	done  bool
+}
+
+// emit pulls one instruction from the part, rewrites its dependence
+// distance into the merged stream's coordinates, and records its position.
+func (p *part) emit(absIndex uint64) (Instr, bool) {
+	in, ok := p.src.Next()
+	if !ok {
+		p.done = true
+		return Instr{}, false
+	}
+	if in.Dep > 0 {
+		d := uint64(in.Dep)
+		switch {
+		case p.count == 0:
+			in.Dep = 0 // no producer exists yet
+		case d > p.count:
+			d = p.count
+			fallthrough
+		default:
+			if d > depWindow {
+				d = depWindow
+			}
+			producer := p.ring[(p.count-d)%depWindow]
+			in.Dep = int32(absIndex - producer)
+		}
+	}
+	p.ring[p.count%depWindow] = absIndex
+	p.count++
+	return in, true
+}
+
+// MixPart is one weighted component of a Mix.
+type MixPart struct {
+	Src Source
+	// Weight is the relative probability of selecting this part for the
+	// next chunk.
+	Weight float64
+	// Chunk is how many instructions to draw per selection (default 1).
+	// Larger chunks keep a part's misses adjacent, preserving their
+	// intra-part memory-level parallelism.
+	Chunk int
+}
+
+type mix struct {
+	parts  []part
+	meta   []MixPart
+	rng    *RNG
+	total  float64
+	abs    uint64
+	cur    int
+	remain int
+}
+
+// NewMix interleaves the parts, selecting a part for each chunk with
+// probability proportional to its weight. Dependences inside each part are
+// preserved across the interleave.
+func NewMix(seed uint64, parts ...MixPart) Source {
+	if len(parts) == 0 {
+		panic("trace: Mix needs at least one part")
+	}
+	m := &mix{rng: NewRNG(seed), meta: parts}
+	m.parts = make([]part, len(parts))
+	for i := range parts {
+		if parts[i].Chunk <= 0 {
+			parts[i].Chunk = 1
+		}
+		if parts[i].Weight <= 0 {
+			parts[i].Weight = 1
+		}
+		m.meta[i] = parts[i]
+		m.parts[i] = part{src: parts[i].Src}
+		m.total += parts[i].Weight
+	}
+	return m
+}
+
+func (m *mix) Next() (Instr, bool) {
+	for tries := 0; tries < len(m.parts)+1; tries++ {
+		if m.remain == 0 {
+			m.pick()
+			if m.remain == 0 {
+				return Instr{}, false // all parts exhausted
+			}
+		}
+		in, ok := m.parts[m.cur].emit(m.abs)
+		if ok {
+			m.remain--
+			m.abs++
+			return in, true
+		}
+		m.remain = 0
+	}
+	return Instr{}, false
+}
+
+func (m *mix) pick() {
+	live := 0.0
+	for i := range m.parts {
+		if !m.parts[i].done {
+			live += m.meta[i].Weight
+		}
+	}
+	if live == 0 {
+		return
+	}
+	x := m.rng.Float64() * live
+	for i := range m.parts {
+		if m.parts[i].done {
+			continue
+		}
+		x -= m.meta[i].Weight
+		if x < 0 {
+			m.cur = i
+			m.remain = m.meta[i].Chunk
+			return
+		}
+	}
+	// Floating-point slack: take the last live part.
+	for i := len(m.parts) - 1; i >= 0; i-- {
+		if !m.parts[i].done {
+			m.cur = i
+			m.remain = m.meta[i].Chunk
+			return
+		}
+	}
+}
+
+// Phase is one leg of a Phases schedule.
+type Phase struct {
+	Src Source
+	// Len is how many instructions this phase contributes before the
+	// schedule advances.
+	Len int
+}
+
+type phases struct {
+	parts  []part
+	lens   []int
+	cur    int
+	remain int
+	abs    uint64
+}
+
+// NewPhases cycles through the given phases for ever: Len instructions
+// from phase 0, then Len from phase 1, and so on, wrapping around. It is
+// how the ammp model expresses its alternating LIN-friendly and
+// LRU-friendly program phases.
+func NewPhases(ps ...Phase) Source {
+	if len(ps) == 0 {
+		panic("trace: Phases needs at least one phase")
+	}
+	g := &phases{}
+	for _, p := range ps {
+		if p.Len <= 0 {
+			panic("trace: Phase.Len must be positive")
+		}
+		g.parts = append(g.parts, part{src: p.Src})
+		g.lens = append(g.lens, p.Len)
+	}
+	g.remain = g.lens[0]
+	return g
+}
+
+func (g *phases) Next() (Instr, bool) {
+	for tries := 0; tries <= len(g.parts); tries++ {
+		if g.remain == 0 {
+			g.cur = (g.cur + 1) % len(g.parts)
+			g.remain = g.lens[g.cur]
+		}
+		if g.parts[g.cur].done {
+			g.remain = 0
+			continue
+		}
+		in, ok := g.parts[g.cur].emit(g.abs)
+		if !ok {
+			g.remain = 0
+			continue
+		}
+		g.remain--
+		g.abs++
+		return in, true
+	}
+	return Instr{}, false
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Int: "int", Mul: "mul", FP: "fp", Div: "div",
+		Load: "load", Store: "store", Branch: "branch",
+		Kind(99): "invalid",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindIsMem(t *testing.T) {
+	for k := Int; k < numKinds; k++ {
+		want := k == Load || k == Store
+		if got := k.IsMem(); got != want {
+			t.Errorf("%v.IsMem() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	ins := []Instr{{Kind: Int}, {Kind: Load, Addr: 64}, {Kind: Branch}}
+	s := NewSliceSource(ins)
+	for i, want := range ins {
+		got, ok := s.Next()
+		if !ok || got != want {
+			t.Fatalf("instr %d: got %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("expected end of stream")
+	}
+	s.Reset()
+	if in, ok := s.Next(); !ok || in != ins[0] {
+		t.Fatalf("after Reset: got %+v ok=%v", in, ok)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	src := NewStream(StreamConfig{Blocks: 4, Seed: 1})
+	lim := NewLimit(src, 7)
+	n := 0
+	for {
+		_, ok := lim.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 7 {
+		t.Fatalf("Limit yielded %d instructions, want 7", n)
+	}
+}
+
+func TestLimitEndsWithShortSource(t *testing.T) {
+	lim := NewLimit(NewSliceSource([]Instr{{Kind: Int}}), 10)
+	if got := len(Collect(lim, 100)); got != 1 {
+		t.Fatalf("got %d instructions, want 1", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewSliceSource([]Instr{{Kind: Int}, {Kind: FP}})
+	b := NewSliceSource([]Instr{{Kind: Load, Addr: 128}})
+	got := Collect(NewConcat(a, b), 10)
+	if len(got) != 3 || got[0].Kind != Int || got[1].Kind != FP || got[2].Kind != Load {
+		t.Fatalf("Concat produced %+v", got)
+	}
+}
+
+func TestAddresses(t *testing.T) {
+	ins := []Instr{
+		{Kind: Load, Addr: 0},
+		{Kind: Int},
+		{Kind: Store, Addr: 65},
+		{Kind: Load, Addr: 128},
+	}
+	got := Addresses(ins, 64)
+	want := []uint64{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(7).Uint64() == NewRNG(8).Uint64() {
+		t.Fatal("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGBoolExtremes(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+// Property: Perm always returns a permutation of [0, n).
+func TestRNGPermProperty(t *testing.T) {
+	r := NewRNG(11)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import "mlpcache/internal/trace"
+
+// Micro-workloads: small single-mechanism models, registered alongside
+// the paper's 14 benchmarks (they appear in Registered() but not in the
+// Table 3 set returned by Names()/All()). They give users and tests
+// minimal reproductions of each behaviour the paper's mechanism reacts
+// to, and are handy first arguments to mlpsim -bench.
+func init() {
+	register(Spec{
+		Name: "micro.isolated", Class: "INT",
+		Summary: "Pure pointer chase over an uncacheable working set: every " +
+			"miss is isolated (mlp-cost ≈ 444 cycles, the 420+ bin of " +
+			"Figure 2). The worst case traditional replacement cannot see.",
+		Build: func(seed uint64) trace.Source {
+			return trace.NewPointerChase(trace.ChaseConfig{
+				Base: 1 << 33, Blocks: 40_000, Gap: 10, Touches: touches, Seed: seed,
+			})
+		},
+	})
+
+	register(Spec{
+		Name: "micro.parallel", Class: "FP",
+		Summary: "Pure independent stream over an uncacheable working set: " +
+			"misses overlap up to the window/MSHR/bus limits (the 0-59 " +
+			"cycle bin of Figure 2).",
+		Build: func(seed uint64) trace.Source {
+			return trace.NewStream(trace.StreamConfig{
+				Base: 1 << 33, Blocks: 40_000, Gap: 8, Touches: touches, Seed: seed,
+			})
+		},
+	})
+
+	register(Spec{
+		Name: "micro.figure1", Class: "INT",
+		Summary: "The Figure 1 scenario at cache scale: a retainable " +
+			"isolated-miss region (the S blocks) thrashed by a parallel " +
+			"stream (the P blocks). LIN's best case.",
+		Build: func(seed uint64) trace.Source {
+			return trace.NewMix(seed,
+				chasePart(0, 4000, 10, seed+1, 1),
+				streamPart(1, 30_000, 8, seed+2, 4),
+			)
+		},
+	})
+
+	register(Spec{
+		Name: "micro.pollution", Class: "INT",
+		Summary: "LIN's worst case distilled: visit-twice blocks whose " +
+			"isolated first pass poisons the tags with dead cost_q=7 " +
+			"residue, starving an LRU-friendly loop. The reason SBAR exists.",
+		Build: func(seed uint64) trace.Source {
+			return trace.NewMix(seed,
+				interleaved(seed+9, 4.0,
+					parallelChase(0, 4000, 2, 6, seed+1, 2.2),
+					streamPart(1, 20_000, 8, seed+2, 0.55),
+				),
+				twoPassPart(2, 10, 5, 280, seed+3, 1.2, 920),
+			)
+		},
+	})
+
+	register(Spec{
+		Name: "micro.stores", Class: "INT",
+		Summary: "Store-heavy streaming: write allocations, dirty evictions " +
+			"and writeback bandwidth — exercises the store buffer's " +
+			"non-blocking retirement (Table 2: store misses do not block " +
+			"the window).",
+		Build: func(seed uint64) trace.Source {
+			return trace.NewMix(seed,
+				trace.MixPart{
+					Src: trace.NewStream(trace.StreamConfig{
+						Base: base(0), Blocks: 30_000, Gap: 8,
+						Touches: touches, Stores: 0.5, Seed: seed + 1,
+					}),
+					Weight: 3, Chunk: 16 * visitLen(8),
+				},
+				chasePart(1, 3000, 10, seed+2, 1),
+			)
+		},
+	})
+
+	register(Spec{
+		Name: "micro.phases", Class: "FP",
+		Summary: "A two-phase workload (LIN-friendly then LRU-friendly) for " +
+			"watching SBAR's PSEL flip — the ammp mechanism without ammp's " +
+			"tuning.",
+		Build: func(seed uint64) trace.Source {
+			phaseA := trace.NewMix(seed+10,
+				chasePart(0, 6000, 8, seed+1, 1.5),
+				streamPart(1, 24_000, 8, seed+2, 6),
+			)
+			phaseB := parallelChase(2, 10_000, 2, 6, seed+3, 1).Src
+			return trace.NewPhases(
+				trace.Phase{Src: phaseA, Len: 400_000},
+				trace.Phase{Src: phaseB, Len: 400_000},
+			)
+		},
+	})
+}

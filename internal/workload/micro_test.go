@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mlpcache/internal/trace"
+)
+
+func TestMicroWorkloadsRegistered(t *testing.T) {
+	micro := 0
+	for _, n := range Registered() {
+		if strings.HasPrefix(n, "micro.") {
+			micro++
+			s, ok := ByName(n)
+			if !ok || s.Build == nil || s.Summary == "" {
+				t.Fatalf("micro spec %q incomplete", n)
+			}
+		}
+	}
+	if micro < 6 {
+		t.Fatalf("only %d micro workloads registered", micro)
+	}
+	// The Table 3 set must stay exactly the paper's 14.
+	for _, n := range Names() {
+		if strings.HasPrefix(n, "micro.") {
+			t.Fatalf("micro workload %q leaked into the paper set", n)
+		}
+	}
+}
+
+func TestMicroWorkloadsProduceStreams(t *testing.T) {
+	for _, n := range Registered() {
+		if !strings.HasPrefix(n, "micro.") {
+			continue
+		}
+		s, _ := ByName(n)
+		ins := trace.Collect(s.Build(3), 20_000)
+		if len(ins) != 20_000 {
+			t.Fatalf("%s: stream ended early", n)
+		}
+	}
+}
+
+func TestMicroStoresEmitStores(t *testing.T) {
+	s, _ := ByName("micro.stores")
+	ins := trace.Collect(s.Build(1), 30_000)
+	stores := 0
+	for _, in := range ins {
+		if in.Kind == trace.Store {
+			stores++
+		}
+	}
+	if stores == 0 {
+		t.Fatal("micro.stores produced no stores")
+	}
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"testing"
+
+	"mlpcache/internal/trace"
+)
+
+func TestRegistryCoversThePaper(t *testing.T) {
+	names := Names()
+	if len(names) != 14 {
+		t.Fatalf("%d benchmarks, want the paper's 14", len(names))
+	}
+	for _, n := range names {
+		s, ok := ByName(n)
+		if !ok {
+			t.Fatalf("benchmark %q not registered", n)
+		}
+		if s.Name != n || s.Build == nil || s.Summary == "" {
+			t.Fatalf("spec %q incomplete", n)
+		}
+		if s.Class != "INT" && s.Class != "FP" {
+			t.Fatalf("%q class %q", n, s.Class)
+		}
+	}
+	if _, ok := ByName("gcc"); ok {
+		t.Fatal("unexpected benchmark")
+	}
+	if got := len(All()); got != 14 {
+		t.Fatalf("All() = %d entries", got)
+	}
+	if got := len(Registered()); got < 14 {
+		t.Fatalf("Registered() = %d entries", got)
+	}
+}
+
+func TestPaperColumnsPresent(t *testing.T) {
+	// Every model records the paper's Figure 5 inset for side-by-side
+	// reporting; the known winners and losers must carry the right sign.
+	winners := []string{"art", "mcf", "vpr", "galgel", "sixtrack", "apsi"}
+	losers := []string{"bzip2", "parser", "mgrid"}
+	for _, n := range winners {
+		s, _ := ByName(n)
+		if s.PaperLINIPCPct <= 0 {
+			t.Errorf("%s paper IPC %+v should be positive", n, s.PaperLINIPCPct)
+		}
+	}
+	for _, n := range losers {
+		s, _ := ByName(n)
+		if s.PaperLINIPCPct >= 0 {
+			t.Errorf("%s paper IPC %+v should be negative", n, s.PaperLINIPCPct)
+		}
+	}
+}
+
+func TestAllModelsProduceValidStreams(t *testing.T) {
+	for _, spec := range All() {
+		src := spec.Build(42)
+		ins := trace.Collect(src, 50_000)
+		if len(ins) != 50_000 {
+			t.Fatalf("%s: stream ended after %d instructions", spec.Name, len(ins))
+		}
+		memOps := 0
+		for i, in := range ins {
+			if in.Dep < 0 {
+				t.Fatalf("%s: negative dep at %d", spec.Name, i)
+			}
+			if in.Dep > 0 && int(in.Dep) > i+1 {
+				// Allowed (CPU treats it as retired) but should be
+				// rare — only stream-start artifacts.
+				if i > 1000 {
+					t.Fatalf("%s: dep %d at %d reaches before start", spec.Name, in.Dep, i)
+				}
+			}
+			if in.Kind.IsMem() {
+				memOps++
+			} else if in.Addr != 0 && in.Kind != trace.Branch {
+				t.Fatalf("%s: non-memory instruction carries an address", spec.Name)
+			}
+		}
+		if frac := float64(memOps) / float64(len(ins)); frac < 0.05 || frac > 0.8 {
+			t.Fatalf("%s: memory-op fraction %.2f implausible", spec.Name, frac)
+		}
+	}
+}
+
+func TestModelsAreDeterministic(t *testing.T) {
+	for _, spec := range All() {
+		a := trace.Collect(spec.Build(7), 5000)
+		b := trace.Collect(spec.Build(7), 5000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: instruction %d differs across builds with equal seed", spec.Name, i)
+			}
+		}
+	}
+}
+
+func TestModelsRespondToSeed(t *testing.T) {
+	spec, _ := ByName("mcf")
+	a := trace.Collect(spec.Build(1), 5000)
+	b := trace.Collect(spec.Build(2), 5000)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	register(Spec{Name: "mcf"})
+}

@@ -1,0 +1,180 @@
+// Package mlpcache is a Go reproduction of "A Case for MLP-Aware Cache
+// Replacement" (Qureshi, Lynch, Mutlu, Patt — ISCA 2006): a cycle-level
+// out-of-order memory-system simulator with the paper's MLP-based cost
+// computation (Algorithm 1), the LIN cost-aware replacement policy, and
+// the CBS and SBAR hybrid replacement mechanisms, together with synthetic
+// models of the paper's 14 SPEC CPU2000 benchmarks and a harness that
+// regenerates every table and figure of the evaluation.
+//
+// This package is the public surface; it re-exports the stable pieces of
+// the internal packages. Quick start:
+//
+//	cfg := mlpcache.DefaultConfig()              // the paper's Table 2 machine
+//	cfg.MaxInstructions = 2_000_000
+//	cfg.Policy = mlpcache.PolicySpec{Kind: mlpcache.PolicySBAR}
+//	bench, _ := mlpcache.Benchmark("mcf")
+//	res := mlpcache.Run(cfg, bench.Build(42))
+//	fmt.Println(res.Summary())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package mlpcache
+
+import (
+	"mlpcache/internal/analytic"
+	"mlpcache/internal/bpred"
+	"mlpcache/internal/cache"
+	"mlpcache/internal/core"
+	"mlpcache/internal/prefetch"
+	"mlpcache/internal/sim"
+	"mlpcache/internal/trace"
+	"mlpcache/internal/workload"
+)
+
+// Simulation types.
+type (
+	// Config is the full machine and run configuration (Table 2).
+	Config = sim.Config
+	// Result bundles a run's measurements: IPC, miss counts, the
+	// Figure 2 cost histogram, Table 1 deltas, and time series.
+	Result = sim.Result
+	// PolicySpec selects the L2 replacement policy.
+	PolicySpec = sim.PolicySpec
+	// PolicyKind names a replacement configuration.
+	PolicyKind = sim.PolicyKind
+)
+
+// Replacement policy kinds.
+const (
+	PolicyLRU       = sim.PolicyLRU
+	PolicyFIFO      = sim.PolicyFIFO
+	PolicyRandom    = sim.PolicyRandom
+	PolicyNMRU      = sim.PolicyNMRU
+	PolicyLIN       = sim.PolicyLIN
+	PolicyBCL       = sim.PolicyBCL
+	PolicyDCL       = sim.PolicyDCL
+	PolicyDIP       = sim.PolicyDIP
+	PolicySBAR      = sim.PolicySBAR
+	PolicyCBSLocal  = sim.PolicyCBSLocal
+	PolicyCBSGlobal = sim.PolicyCBSGlobal
+)
+
+// DefaultConfig returns the paper's baseline machine: 8-wide 128-entry
+// out-of-order core, 16KB L1, 1MB 16-way L2, 32-entry MSHR, 32-bank DRAM
+// with a 444-cycle isolated miss.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Run simulates the instruction source on the configured machine.
+func Run(cfg Config, src Source) Result { return sim.Run(cfg, src) }
+
+// Instruction-stream types and generators.
+type (
+	// Source produces instructions; workloads are Sources.
+	Source = trace.Source
+	// Instr is one dynamic instruction.
+	Instr = trace.Instr
+	// ChaseConfig parameterizes a pointer chase (isolated misses).
+	ChaseConfig = trace.ChaseConfig
+	// StreamConfig parameterizes an independent stream (parallel misses).
+	StreamConfig = trace.StreamConfig
+	// AlternatingConfig parameterizes the unstable-cost generator.
+	AlternatingConfig = trace.AlternatingConfig
+	// TwoPassConfig parameterizes the visit-twice generator.
+	TwoPassConfig = trace.TwoPassConfig
+	// MixPart and Phase compose generators.
+	MixPart = trace.MixPart
+	Phase   = trace.Phase
+)
+
+// Generator constructors.
+var (
+	NewPointerChase = trace.NewPointerChase
+	NewStream       = trace.NewStream
+	NewAlternating  = trace.NewAlternating
+	NewTwoPass      = trace.NewTwoPass
+	NewMix          = trace.NewMix
+	NewPhases       = trace.NewPhases
+	NewLimit        = trace.NewLimit
+	NewSliceSource  = trace.NewSliceSource
+)
+
+// Workload models of the paper's benchmarks.
+type BenchmarkSpec = workload.Spec
+
+// Benchmark looks up one of the 14 benchmark models by SPEC name.
+func Benchmark(name string) (BenchmarkSpec, bool) { return workload.ByName(name) }
+
+// Benchmarks returns all 14 models in the paper's Table 3 order.
+func Benchmarks() []BenchmarkSpec { return workload.All() }
+
+// BenchmarkNames returns the models' names in Table 3 order.
+func BenchmarkNames() []string { return workload.Names() }
+
+// Core mechanism pieces, for building custom caches and policies.
+type (
+	// Cache is the set-associative tag-store model.
+	Cache = cache.Cache
+	// CacheConfig describes a cache's geometry.
+	CacheConfig = cache.Config
+	// Policy selects replacement victims.
+	Policy = cache.Policy
+	// SBARConfig and CBSConfig parameterize the hybrids.
+	SBARConfig = core.SBARConfig
+	CBSConfig  = core.CBSConfig
+)
+
+// Policy and mechanism constructors.
+var (
+	NewCache     = cache.New
+	NewLRUPolicy = cache.NewLRU
+	NewLIN       = core.NewLIN
+	NewBCL       = core.NewBCL
+	NewDCL       = core.NewDCL
+	NewBIP       = core.NewBIP
+	NewDIP       = core.NewDIP
+	NewCostAware = core.NewCostAware
+	NewSBAR      = core.NewSBAR
+	NewCBS       = core.NewCBS
+)
+
+// BranchPredictorConfig parameterizes the optional live branch predictor
+// (set Config.CPU.BranchPredictor; the default front end uses the
+// trace's oracle misprediction flags).
+type BranchPredictorConfig = bpred.Config
+
+// DefaultBranchPredictorConfig returns the Table 2 style gshare/PAs
+// hybrid at a table size suited to the synthetic workloads.
+func DefaultBranchPredictorConfig() BranchPredictorConfig { return bpred.DefaultConfig() }
+
+// PrefetchConfig parameterizes the optional L2 stride prefetcher (set
+// Config.Prefetch to enable it; the paper's baseline runs without one).
+type PrefetchConfig = prefetch.Config
+
+// DefaultPrefetchConfig returns a 16-stream, degree-4, distance-12
+// stride prefetcher.
+func DefaultPrefetchConfig() PrefetchConfig { return prefetch.DefaultConfig() }
+
+// Quantize converts an MLP-based cost in cycles to the paper's 3-bit
+// cost_q (Figure 3b).
+func Quantize(mlpCost float64) uint8 { return core.Quantize(mlpCost) }
+
+// PBest evaluates the Section 6.3 sampling model: the probability that k
+// random leader sets select the best policy when a fraction p of sets
+// favours it (Figure 8).
+func PBest(k int, p float64) float64 { return analytic.PBest(k, p) }
+
+// Offline replacement analysis (Belady's OPT and friends).
+type (
+	// OfflineResult summarizes an offline replacement simulation.
+	OfflineResult = cache.OfflineResult
+	// AccessResult records one access's outcome in an offline run.
+	AccessResult = cache.AccessResult
+)
+
+// SimulateOPT runs Belady's optimal replacement offline over a block
+// stream (the Figure 1 comparison point); SimulateOffline does the same
+// for any online policy.
+var (
+	SimulateOPT     = cache.SimulateOPT
+	SimulateOffline = cache.SimulateOffline
+)

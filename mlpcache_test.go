@@ -1,0 +1,100 @@
+package mlpcache_test
+
+import (
+	"strings"
+	"testing"
+
+	"mlpcache"
+)
+
+// These tests exercise the public API exactly as README.md documents it.
+
+func TestQuickstartFlow(t *testing.T) {
+	cfg := mlpcache.DefaultConfig()
+	cfg.MaxInstructions = 120_000
+	cfg.Policy = mlpcache.PolicySpec{Kind: mlpcache.PolicySBAR}
+
+	bench, ok := mlpcache.Benchmark("mcf")
+	if !ok {
+		t.Fatal("mcf model missing")
+	}
+	res := mlpcache.Run(cfg, bench.Build(42))
+	if res.Instructions != 120_000 || res.IPC <= 0 {
+		t.Fatalf("bad result: %s", res.Summary())
+	}
+	if !strings.Contains(res.Summary(), "sbar") {
+		t.Fatalf("summary %q does not name the policy", res.Summary())
+	}
+}
+
+func TestCustomWorkloadFlow(t *testing.T) {
+	// The chase must thrash under LRU (streaming insertions between its
+	// revisits exceed the 16 ways/set) yet fit under LIN's protection.
+	mix := func() mlpcache.Source {
+		list := mlpcache.NewPointerChase(mlpcache.ChaseConfig{Blocks: 3000, Gap: 8, Seed: 1})
+		sweep := mlpcache.NewStream(mlpcache.StreamConfig{Base: 1 << 33, Blocks: 30_000, Gap: 6, Seed: 2})
+		return mlpcache.NewMix(1,
+			mlpcache.MixPart{Src: list, Weight: 1, Chunk: 24 * 9},
+			mlpcache.MixPart{Src: sweep, Weight: 4, Chunk: 16 * 7},
+		)
+	}
+	cfg := mlpcache.DefaultConfig()
+	cfg.MaxInstructions = 400_000
+	lru := mlpcache.Run(cfg, mix())
+
+	cfg.Policy = mlpcache.PolicySpec{Kind: mlpcache.PolicyLIN, Lambda: 4}
+	lin := mlpcache.Run(cfg, mix())
+
+	if lin.IPC <= lru.IPC {
+		t.Fatalf("LIN %.4f should beat LRU %.4f on a retainable chase", lin.IPC, lru.IPC)
+	}
+}
+
+func TestPBestExposed(t *testing.T) {
+	if got := mlpcache.PBest(1, 0.74); got != 0.74 {
+		t.Fatalf("PBest(1, 0.74) = %v", got)
+	}
+}
+
+func TestQuantizeExposed(t *testing.T) {
+	if mlpcache.Quantize(444) != 7 || mlpcache.Quantize(100) != 1 {
+		t.Fatal("quantizer disagrees with Figure 3b")
+	}
+}
+
+func TestOPTExposed(t *testing.T) {
+	res := mlpcache.SimulateOPT([]uint64{1, 2, 3, 1, 2}, 1, 2)
+	if res.Misses != 4 {
+		t.Fatalf("OPT misses = %d, want 4", res.Misses)
+	}
+}
+
+func TestBenchmarkCatalog(t *testing.T) {
+	if got := len(mlpcache.Benchmarks()); got != 14 {
+		t.Fatalf("%d benchmarks", got)
+	}
+	if got := len(mlpcache.BenchmarkNames()); got != 14 {
+		t.Fatalf("%d names", got)
+	}
+}
+
+func TestCustomPolicyOnPublicCache(t *testing.T) {
+	// Build a cache with a custom cost-aware policy through the public
+	// surface only.
+	costFirst := mlpcache.NewCostAware("cost-first", func(r, c int) int { return c*100 + r })
+	c := mlpcache.NewCache(mlpcache.CacheConfig{Sets: 1, Assoc: 2, BlockBytes: 64}, costFirst)
+	c.Fill(0, 7, false)
+	c.Fill(64, 0, false)
+	ev, evicted := c.Fill(128, 0, false)
+	if !evicted || ev.Block != 1 {
+		t.Fatalf("custom policy evicted %v, want block 1 (cheapest)", ev.Block)
+	}
+}
+
+func TestSBARConstructionPublic(t *testing.T) {
+	mtd := mlpcache.NewCache(mlpcache.CacheConfig{Sets: 64, Assoc: 4, BlockBytes: 64}, nil)
+	s := mlpcache.NewSBAR(mtd, mlpcache.SBARConfig{LeaderSets: 8})
+	if mtd.Policy() != s {
+		t.Fatal("SBAR did not install itself")
+	}
+}
