@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: tier1 build test race vet fuzz-smoke bench clean
+
+# tier1 is the repo's gate: every PR must leave it green.
+tier1: vet build race fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short deterministic-ish fuzz smoke over the trace codec: the decoder
+# must survive arbitrary bytes, and encode→decode must round-trip.
+fuzz-smoke:
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzTraceDecode -fuzztime 5s
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime 5s
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -170,7 +170,7 @@ func BenchmarkAblationAdders(b *testing.B) {
 		cfg := sim.DefaultConfig()
 		cfg.MaxInstructions = benchInstructions
 		cfg.MSHR = mshr.Config{Entries: 32, Adders: adders}
-		return sim.Run(cfg, spec.Build(42))
+		return sim.MustRun(cfg, spec.Build(42))
 	}
 	var exact, shared sim.Result
 	for i := 0; i < b.N; i++ {
@@ -192,7 +192,7 @@ func BenchmarkAblationPSEL(b *testing.B) {
 				cfg := sim.DefaultConfig()
 				cfg.MaxInstructions = benchInstructions
 				cfg.Policy = sim.PolicySpec{Kind: sim.PolicySBAR, PselBits: bits}
-				res = sim.Run(cfg, spec.Build(42))
+				res = sim.MustRun(cfg, spec.Build(42))
 			}
 			b.ReportMetric(res.IPC, "ipc")
 		})
@@ -210,7 +210,7 @@ func BenchmarkAblationCBS(b *testing.B) {
 				cfg := sim.DefaultConfig()
 				cfg.MaxInstructions = benchInstructions
 				cfg.Policy = sim.PolicySpec{Kind: kind}
-				res = sim.Run(cfg, spec.Build(42))
+				res = sim.MustRun(cfg, spec.Build(42))
 			}
 			b.ReportMetric(res.IPC, "ipc")
 		})
@@ -246,7 +246,7 @@ func BenchmarkAblationCARE(b *testing.B) {
 				cfg := sim.DefaultConfig()
 				cfg.MaxInstructions = benchInstructions
 				cfg.Policy = sim.PolicySpec{Kind: kind}
-				res = sim.Run(cfg, spec.Build(42))
+				res = sim.MustRun(cfg, spec.Build(42))
 			}
 			b.ReportMetric(res.IPC, "ipc")
 			b.ReportMetric(float64(res.Mem.DemandMisses), "misses")
@@ -274,7 +274,7 @@ func BenchmarkAblationPrefetch(b *testing.B) {
 					p := prefetch.DefaultConfig()
 					cfg.Prefetch = &p
 				}
-				res = sim.Run(cfg, spec.Build(42))
+				res = sim.MustRun(cfg, spec.Build(42))
 			}
 			b.ReportMetric(res.IPC, "ipc")
 			b.ReportMetric(res.AvgMLPCost(), "avg-cost-cycles")
@@ -291,12 +291,12 @@ func BenchmarkExtensionDIP(b *testing.B) {
 		spec, _ := workload.ByName("art")
 		cfg := sim.DefaultConfig()
 		cfg.MaxInstructions = benchInstructions
-		lruIPC = sim.Run(cfg, spec.Build(42)).IPC
+		lruIPC = sim.MustRun(cfg, spec.Build(42)).IPC
 
 		dipCfg := sim.DefaultConfig()
 		dipCfg.MaxInstructions = benchInstructions
 		dipCfg.Policy = sim.PolicySpec{Kind: sim.PolicyDIP}
-		dipIPC = sim.Run(dipCfg, spec.Build(42)).IPC
+		dipIPC = sim.MustRun(dipCfg, spec.Build(42)).IPC
 	}
 	b.ReportMetric(lruIPC, "lru-ipc")
 	b.ReportMetric(dipIPC, "dip-ipc")
@@ -310,7 +310,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := sim.DefaultConfig()
 		cfg.MaxInstructions = benchInstructions
-		sim.Run(cfg, spec.Build(42))
+		sim.MustRun(cfg, spec.Build(42))
 	}
 	b.ReportMetric(float64(benchInstructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }

@@ -103,4 +103,60 @@ func TestCLIEndToEnd(t *testing.T) {
 			t.Fatalf("expected failure for unknown benchmark:\n%s", out)
 		}
 	})
+
+	// Failure paths: every bad input must produce a one-line diagnostic
+	// and a non-zero exit — never a Go panic trace.
+	mustFailCleanly := func(t *testing.T, tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(dir, tool), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s %v: expected non-zero exit\n%s", tool, args, out)
+		}
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%s %v: did not run: %v", tool, args, err)
+		}
+		if strings.Contains(string(out), "panic:") || strings.Contains(string(out), "goroutine ") {
+			t.Fatalf("%s %v: panic escaped to the user:\n%s", tool, args, out)
+		}
+		return string(out)
+	}
+
+	t.Run("mlpsim-bad-policy-fails", func(t *testing.T) {
+		out := mustFailCleanly(t, "mlpsim", "-bench", "mcf", "-policy", "belady", "-n", "1000")
+		if !strings.Contains(out, "belady") {
+			t.Fatalf("diagnostic does not name the bad policy:\n%s", out)
+		}
+	})
+
+	t.Run("mlpsim-missing-trace-fails", func(t *testing.T) {
+		mustFailCleanly(t, "mlpsim", "-trace", filepath.Join(dir, "no-such.trace"))
+	})
+
+	t.Run("mlpsim-corrupt-trace-fails", func(t *testing.T) {
+		bad := filepath.Join(dir, "bad.trace")
+		if err := os.WriteFile(bad, []byte("MLPT\x01\x07\x07\x07"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out := mustFailCleanly(t, "mlpsim", "-trace", bad, "-hist=false")
+		if !strings.Contains(out, "corrupt") && !strings.Contains(out, "invalid kind") {
+			t.Fatalf("diagnostic does not describe the corruption:\n%s", out)
+		}
+	})
+
+	t.Run("mlpexp-unknown-experiment-fails", func(t *testing.T) {
+		mustFailCleanly(t, "mlpexp", "-run", "fig99")
+	})
+
+	t.Run("mlptrace-missing-file-fails", func(t *testing.T) {
+		mustFailCleanly(t, "mlptrace", "-stats", filepath.Join(dir, "absent.trace"))
+	})
+
+	t.Run("mlpsim-audited-run", func(t *testing.T) {
+		out := runTool(t, dir, "mlpsim", "-bench", "micro.figure1",
+			"-policy", "sbar", "-n", "120000", "-audit", "-hist=false")
+		if !strings.Contains(out, "audit:") || !strings.Contains(out, "0 violations") {
+			t.Fatalf("audited run did not report a clean audit:\n%s", out)
+		}
+	})
 }

@@ -40,6 +40,7 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmark models and exit")
 		traceFile = flag.String("trace", "", "replay a binary trace file instead of a benchmark model")
 		pf        = flag.Bool("prefetch", false, "enable the L2 stride prefetcher")
+		auditFlag = flag.Bool("audit", false, "run the invariant auditor alongside the simulation")
 		bp        = flag.Bool("bpred", false, "use a live gshare/per-address hybrid branch predictor instead of oracle flags")
 	)
 	flag.Parse()
@@ -102,8 +103,13 @@ func main() {
 		bcfg := bpred.DefaultConfig()
 		cfg.CPU.BranchPredictor = &bcfg
 	}
+	cfg.Audit = *auditFlag
 
-	res := sim.Run(cfg, src)
+	res, err := sim.Run(cfg, src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlpsim: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("benchmark   %s\n", benchLabel)
 	fmt.Printf("policy      %s\n", res.Policy)
@@ -147,6 +153,9 @@ func main() {
 			vals = append(vals, fmt.Sprintf("%7.1f%%", p))
 		}
 		fmt.Printf("  %s\n  %s\n", strings.Join(labels, " "), strings.Join(vals, " "))
+	}
+	if res.Audit != nil {
+		fmt.Printf("audit: %d passes, %d violations\n", res.Audit.Checks, len(res.Audit.Violations))
 	}
 	if res.Series != nil {
 		fmt.Println("time series (instructions, IPC, MPKI, avg cost_q):")

@@ -59,7 +59,7 @@ func main() {
 		cfg.MaxInstructions = instructions
 		cfg.Policy = mlpcache.PolicySpec{Kind: kind}
 		cfg.SampleInterval = 100_000
-		results[kind] = mlpcache.Run(cfg, workload(42))
+		results[kind] = mlpcache.MustRun(cfg, workload(42))
 	}
 
 	lru, lin, sbar := results[mlpcache.PolicyLRU], results[mlpcache.PolicyLIN], results[mlpcache.PolicySBAR]

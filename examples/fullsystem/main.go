@@ -18,7 +18,7 @@ func run(label string, configure func(*mlpcache.Config)) mlpcache.Result {
 	cfg.MaxInstructions = 1_500_000
 	configure(&cfg)
 	bench, _ := mlpcache.Benchmark("mcf")
-	res := mlpcache.Run(cfg, bench.Build(42))
+	res := mlpcache.MustRun(cfg, bench.Build(42))
 	fmt.Printf("%-28s IPC %.4f   misses %6d   avg mlp-cost %5.1f   420+ bin %4.1f%%\n",
 		label, res.IPC, res.MissesServiced(), res.AvgMLPCost(), res.CostHist.Percent()[7])
 	return res

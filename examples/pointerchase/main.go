@@ -53,7 +53,7 @@ func main() {
 		cfg := mlpcache.DefaultConfig()
 		cfg.MaxInstructions = instructions
 		cfg.Policy = mlpcache.PolicySpec{Kind: kind, Lambda: 4}
-		res := mlpcache.Run(cfg, workload(7))
+		res := mlpcache.MustRun(cfg, workload(7))
 
 		isolatedPct := res.CostHist.Percent()[7]
 		fmt.Printf("%-5s IPC %.4f   misses %6d   isolated (420+ cycles): %.1f%%   mem-stall %d cycles\n",

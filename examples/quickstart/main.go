@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"mlpcache"
 )
@@ -14,7 +15,8 @@ func main() {
 	const instructions = 1_500_000
 	bench, ok := mlpcache.Benchmark("mcf")
 	if !ok {
-		panic("mcf model missing")
+		fmt.Fprintln(os.Stderr, "quickstart: mcf model missing")
+		os.Exit(1)
 	}
 	fmt.Printf("benchmark: %s — %s\n\n", bench.Name, bench.Summary)
 
@@ -27,7 +29,11 @@ func main() {
 		cfg := mlpcache.DefaultConfig()
 		cfg.MaxInstructions = instructions
 		cfg.Policy = spec
-		res := mlpcache.Run(cfg, bench.Build(42))
+		res, err := mlpcache.Run(cfg, bench.Build(42))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quickstart:", err)
+			os.Exit(1)
+		}
 
 		if spec.Kind == mlpcache.PolicyLRU {
 			baseline = res

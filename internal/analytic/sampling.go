@@ -4,7 +4,11 @@
 // fraction p of all sets favours that policy (equations 3-5, Figure 8).
 package analytic
 
-import "math"
+import (
+	"math"
+
+	"mlpcache/internal/simerr"
+)
 
 // PBest returns P(Best) for k leader sets at favour fraction p:
 //
@@ -15,10 +19,10 @@ import "math"
 // outside [0,1] — both configuration errors.
 func PBest(k int, p float64) float64 {
 	if k < 1 {
-		panic("analytic: k must be at least 1")
+		panic(simerr.New(simerr.ErrBadConfig, "analytic: k must be at least 1, got %d", k))
 	}
 	if p < 0 || p > 1 {
-		panic("analytic: p must be in [0,1]")
+		panic(simerr.New(simerr.ErrBadConfig, "analytic: p must be in [0,1], got %v", p))
 	}
 	sum := 0.0
 	if k%2 == 1 {

@@ -1,0 +1,161 @@
+// Package audit implements the simulator's invariant auditor: a set of
+// pluggable checkers that cross-check live simulator state (recency
+// stacks, MSHR bookkeeping, quantized costs, selector counters, sampling
+// directories) while a run is in progress.
+//
+// The auditor is built for "cheap when off, bounded when on": a disabled
+// run never constructs one, and an enabled run pays one integer compare
+// per cycle plus a full checker pass every AuditEvery cycles. Checkers
+// must never mutate the state they inspect.
+//
+// Violations accumulate in a Report; Report.Err wraps simerr.ErrInvariant
+// so callers can classify audit failures with errors.Is like every other
+// simulator error.
+package audit
+
+import (
+	"fmt"
+
+	"mlpcache/internal/simerr"
+)
+
+// DefaultEvery is the default audit period in cycles. It keeps the full
+// checker pass off the hot path (a pass touches every registered
+// structure) while still sampling a long run thousands of times.
+const DefaultEvery = 16384
+
+// maxViolations bounds the violations retained per report; a broken
+// invariant tends to fire every pass, and the first few instances carry
+// all the signal. Further violations are counted in Report.Dropped.
+const maxViolations = 64
+
+// Violation records one invariant breach.
+type Violation struct {
+	// Checker is the name of the checker that fired.
+	Checker string
+	// Cycle is the simulation cycle of the audit pass.
+	Cycle uint64
+	// Detail describes the breach.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s @cycle %d] %s", v.Checker, v.Cycle, v.Detail)
+}
+
+// Checker inspects one structure's invariants. Implementations must be
+// read-only with respect to the simulated state.
+type Checker interface {
+	// Name identifies the checker in violations.
+	Name() string
+	// Check runs one audit pass, calling report once per breach found.
+	Check(cycle uint64, report func(detail string))
+}
+
+// Func adapts a plain function into a Checker.
+func Func(name string, fn func(cycle uint64, report func(detail string))) Checker {
+	return funcChecker{name: name, fn: fn}
+}
+
+type funcChecker struct {
+	name string
+	fn   func(uint64, func(string))
+}
+
+func (c funcChecker) Name() string { return c.name }
+func (c funcChecker) Check(cycle uint64, report func(string)) {
+	c.fn(cycle, report)
+}
+
+// Strings adapts an AuditInvariants-style method — returning one string
+// per violated invariant — into a Checker. The mshr, SBAR and CBS
+// structures expose exactly this shape.
+func Strings(name string, fn func() []string) Checker {
+	return Func(name, func(_ uint64, report func(string)) {
+		for _, detail := range fn() {
+			report(detail)
+		}
+	})
+}
+
+// Report accumulates the outcome of an audited run.
+type Report struct {
+	// Checks counts completed audit passes.
+	Checks uint64
+	// Violations holds the retained breaches, oldest first, capped at an
+	// internal limit.
+	Violations []Violation
+	// Dropped counts breaches beyond the retention cap.
+	Dropped int
+}
+
+// Ok reports whether no invariant was violated.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 && r.Dropped == 0 }
+
+// Err returns nil when the report is clean, and otherwise an error
+// wrapping simerr.ErrInvariant that quotes the first violation.
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	total := len(r.Violations) + r.Dropped
+	return simerr.New(simerr.ErrInvariant, "audit: %d violation(s) in %d passes; first: %s",
+		total, r.Checks, r.Violations[0])
+}
+
+func (r *Report) record(v Violation) {
+	if len(r.Violations) >= maxViolations {
+		r.Dropped++
+		return
+	}
+	r.Violations = append(r.Violations, v)
+}
+
+// Auditor schedules checker passes over a running simulation.
+type Auditor struct {
+	every    uint64
+	next     uint64
+	checkers []Checker
+	rep      Report
+}
+
+// New builds an auditor that runs a full checker pass every `every`
+// cycles (DefaultEvery when zero or negative is not representable:
+// every==0 selects DefaultEvery).
+func New(every uint64, checkers ...Checker) *Auditor {
+	if every == 0 {
+		every = DefaultEvery
+	}
+	return &Auditor{every: every, next: every, checkers: checkers}
+}
+
+// Register appends checkers to the pass.
+func (a *Auditor) Register(cs ...Checker) { a.checkers = append(a.checkers, cs...) }
+
+// MaybeCheck runs a pass when the schedule is due. The comparison is
+// against a deadline rather than now%every because the simulator
+// fast-forwards over idle regions — cycle values are not consecutive.
+func (a *Auditor) MaybeCheck(now uint64) {
+	if now < a.next {
+		return
+	}
+	a.CheckNow(now)
+	for a.next <= now {
+		a.next += a.every
+	}
+}
+
+// CheckNow runs a full checker pass unconditionally.
+func (a *Auditor) CheckNow(now uint64) {
+	for _, c := range a.checkers {
+		name := c.Name()
+		c.Check(now, func(detail string) {
+			a.rep.record(Violation{Checker: name, Cycle: now, Detail: detail})
+		})
+	}
+	a.rep.Checks++
+}
+
+// Report returns the accumulated report. The pointer stays valid (and
+// live) for the auditor's lifetime.
+func (a *Auditor) Report() *Report { return &a.rep }

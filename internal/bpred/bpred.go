@@ -10,6 +10,8 @@
 // DESIGN.md on wrong-path exclusion), so no BTB is modelled.
 package bpred
 
+import "mlpcache/internal/simerr"
+
 // Config sizes the hybrid predictor.
 type Config struct {
 	// GshareBits sizes the global-history table (2^bits 2-bit counters)
@@ -55,10 +57,26 @@ type Predictor struct {
 	stats    Stats
 }
 
-// New builds a predictor.
+// Validate checks the configuration, wrapping failures in
+// simerr.ErrBadConfig.
+func (c Config) Validate() error {
+	if c.GshareBits <= 0 || c.LocalBits <= 0 || c.SelectorBits <= 0 {
+		return simerr.New(simerr.ErrBadConfig,
+			"bpred: table sizes must be positive (gshare=%d local=%d selector=%d)",
+			c.GshareBits, c.LocalBits, c.SelectorBits)
+	}
+	if c.GshareBits > 30 || c.LocalBits > 30 || c.SelectorBits > 30 {
+		return simerr.New(simerr.ErrBadConfig, "bpred: table sizes above 30 bits are not supported")
+	}
+	return nil
+}
+
+// New builds a predictor. It panics (with a typed simerr.ErrBadConfig
+// error) on an invalid configuration; validate externally-sourced
+// configs with Config.Validate first.
 func New(cfg Config) *Predictor {
-	if cfg.GshareBits <= 0 || cfg.LocalBits <= 0 || cfg.SelectorBits <= 0 {
-		panic("bpred: table sizes must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	p := &Predictor{
 		cfg:      cfg,

@@ -10,7 +10,11 @@
 // paper's quantized MLP-based cost.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"mlpcache/internal/simerr"
+)
 
 // Line is one cache block's tag-store entry.
 type Line struct {
@@ -57,6 +61,40 @@ func (c Config) String() string {
 		uint64(c.Sets)*uint64(c.Assoc)*c.BlockBytes/1024, c.Assoc, c.BlockBytes, c.Sets)
 }
 
+// Validate checks the geometry, wrapping failures in simerr.ErrBadConfig.
+// It accepts every configuration New accepts (BlockBytes 0 defaults to
+// 64; Sets may be derived from SizeBytes).
+func (c Config) Validate() error {
+	_, err := c.SetCount()
+	return err
+}
+
+// SetCount returns the set count the geometry resolves to — Sets if
+// given, otherwise derived from SizeBytes — or a wrapped
+// simerr.ErrBadConfig when the geometry is unbuildable.
+func (c Config) SetCount() (int, error) {
+	block := c.BlockBytes
+	if block == 0 {
+		block = 64
+	}
+	if c.Assoc <= 0 {
+		return 0, simerr.New(simerr.ErrBadConfig, "cache: associativity must be positive, got %d", c.Assoc)
+	}
+	sets := c.Sets
+	if sets == 0 {
+		if c.SizeBytes == 0 {
+			return 0, simerr.New(simerr.ErrBadConfig, "cache: need SizeBytes or Sets")
+		}
+		sets = int(c.SizeBytes / (uint64(c.Assoc) * block))
+	}
+	if sets <= 0 {
+		return 0, simerr.New(simerr.ErrBadConfig,
+			"cache: set count must be positive (size %dB, %d-way, %dB blocks gives %d sets)",
+			c.SizeBytes, c.Assoc, block, sets)
+	}
+	return sets, nil
+}
+
 // Stats aggregates a cache's access counters.
 type Stats struct {
 	Hits       uint64
@@ -86,24 +124,19 @@ type Cache struct {
 	customIndex bool
 }
 
-// New builds a cache. It panics on invalid geometry (a configuration
-// error, not a runtime condition).
+// New builds a cache. It panics on invalid geometry with a typed
+// simerr.ErrBadConfig error (a configuration error in the calling code,
+// not a runtime condition); validate externally-sourced geometries with
+// Config.Validate first.
 func New(cfg Config, policy Policy) *Cache {
+	sets, err := cfg.SetCount()
+	if err != nil {
+		panic(err)
+	}
 	if cfg.BlockBytes == 0 {
 		cfg.BlockBytes = 64
 	}
-	if cfg.Assoc <= 0 {
-		panic("cache: associativity must be positive")
-	}
-	if cfg.Sets == 0 {
-		if cfg.SizeBytes == 0 {
-			panic("cache: need SizeBytes or Sets")
-		}
-		cfg.Sets = int(cfg.SizeBytes / (uint64(cfg.Assoc) * cfg.BlockBytes))
-	}
-	if cfg.Sets <= 0 {
-		panic("cache: set count must be positive")
-	}
+	cfg.Sets = sets
 	custom := cfg.Index != nil
 	if !custom {
 		sets := uint64(cfg.Sets)
@@ -237,7 +270,8 @@ func (c *Cache) Fill(addr uint64, costQ uint8, dirty bool) (Evicted, bool) {
 	if way < 0 {
 		way = c.policy.Victim(SetView{cache: c, Index: set})
 		if way < 0 || way >= c.cfg.Assoc {
-			panic(fmt.Sprintf("cache: policy %s returned invalid way %d", c.policy.Name(), way))
+			panic(simerr.New(simerr.ErrInternal,
+				"cache: policy %s returned invalid way %d", c.policy.Name(), way))
 		}
 		old := lines[way]
 		ev = Evicted{Block: c.blockFromTag(set, old.Tag), Dirty: old.Dirty, CostQ: old.CostQ}
@@ -301,7 +335,7 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // contents.
 func (c *Cache) ViewSet(set int) SetView {
 	if set < 0 || set >= c.cfg.Sets {
-		panic("cache: ViewSet index out of range")
+		panic(simerr.New(simerr.ErrInternal, "cache: ViewSet index %d out of range [0,%d)", set, c.cfg.Sets))
 	}
 	return SetView{cache: c, Index: set}
 }
@@ -363,6 +397,16 @@ func (v SetView) Demote(w int) {
 		return // only line in the set; position is moot
 	}
 	if minUse == 0 {
+		// No room below: shift every other valid line up one step so
+		// the demoted line can take a unique bottom slot. Recency is a
+		// per-set total order over distinct lastUse values, so a
+		// uniform shift preserves it; clamping to 0 instead would give
+		// two lines the same rank and break LRU victim selection.
+		for i := range lines {
+			if i != w && lines[i].Valid {
+				lines[i].lastUse++
+			}
+		}
 		minUse = 1
 	}
 	lines[w].lastUse = minUse - 1

@@ -6,6 +6,8 @@ package cache
 // MLP-aware replacement; the offline LRU simulation provides the matching
 // online baseline for miss-count comparisons that do not need timing.
 
+import "mlpcache/internal/simerr"
+
 // AccessResult records the outcome of one access in an offline run.
 type AccessResult struct {
 	Block uint64
@@ -36,7 +38,7 @@ func (r OfflineResult) MissRate() float64 {
 // fully-associative cache). Blocks map to sets by block % sets.
 func SimulateOPT(stream []uint64, sets, assoc int) OfflineResult {
 	if sets <= 0 || assoc <= 0 {
-		panic("cache: SimulateOPT needs positive sets and assoc")
+		panic(simerr.New(simerr.ErrBadConfig, "cache: SimulateOPT needs positive sets and assoc"))
 	}
 	const never = int(^uint(0) >> 1) // sentinel: no future use
 

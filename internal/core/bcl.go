@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"mlpcache/internal/cache"
+
+	"mlpcache/internal/simerr"
 )
 
 // Alternative cost-aware replacement engines, after Jeong & Dubois'
@@ -32,7 +34,7 @@ type BCL struct {
 // is how far up the LRU stack to search for a cheap victim.
 func NewBCL(threshold uint8, depth int) *BCL {
 	if depth < 1 {
-		panic("core: BCL depth must be at least 1")
+		panic(simerr.New(simerr.ErrBadConfig, "core: BCL depth must be at least 1, got %d", depth))
 	}
 	return &BCL{threshold: threshold, depth: depth}
 }
@@ -117,7 +119,7 @@ const dclSat = 63
 // NewDCL returns the dynamic cost-sensitive LRU engine.
 func NewDCL(threshold uint8, depth int) *DCL {
 	if depth < 1 {
-		panic("core: DCL depth must be at least 1")
+		panic(simerr.New(simerr.ErrBadConfig, "core: DCL depth must be at least 1, got %d", depth))
 	}
 	return &DCL{
 		threshold: threshold,

@@ -201,3 +201,34 @@ func (c *CBS) Stats() HybridStats { return c.stats }
 
 // Psel exposes the selector counter for the given set.
 func (c *CBS) Psel(set int) *PSEL { return c.pselFor(set) }
+
+// AuditInvariants cross-checks CBS's bookkeeping and returns a
+// description of every violated invariant (empty when consistent): every
+// PSEL value stays inside its bit width, both auxiliary directories
+// replicate the MTD geometry, and every pending contest is recorded
+// against the set its block maps to. It never mutates state.
+func (c *CBS) AuditInvariants() []string {
+	var out []string
+	for i, p := range c.psel {
+		if v, max := p.Value(), p.Max(); v < 0 || v > max {
+			out = append(out, fmt.Sprintf("psel[%d] value %d outside [0,%d]", i, v, max))
+		}
+	}
+	mcfg := c.mtd.Config()
+	for _, atd := range []struct {
+		name string
+		c    *cache.Cache
+	}{{"ATD-LIN", c.atdLin}, {"ATD-LRU", c.atdLru}} {
+		acfg := atd.c.Config()
+		if acfg.Sets != mcfg.Sets || acfg.Assoc != mcfg.Assoc {
+			out = append(out, fmt.Sprintf("%s geometry %dx%d differs from MTD %dx%d",
+				atd.name, acfg.Sets, acfg.Assoc, mcfg.Sets, mcfg.Assoc))
+		}
+	}
+	for block, p := range c.pending {
+		if want := c.mtd.SetOf(block * mcfg.BlockBytes); p.set != want {
+			out = append(out, fmt.Sprintf("pending block %#x recorded for set %d, maps to set %d", block, p.set, want))
+		}
+	}
+	return out
+}

@@ -6,6 +6,8 @@ import (
 	"mlpcache/internal/cache"
 
 	"mlpcache/internal/trace"
+
+	"mlpcache/internal/simerr"
 )
 
 // Extension: the insertion-policy line of work this paper seeded. SBAR's
@@ -33,7 +35,7 @@ type BIP struct {
 // LRU; very large values approach LIP (LRU-insertion policy).
 func NewBIP(epsilonInv int, seed uint64) *BIP {
 	if epsilonInv < 1 {
-		panic("core: BIP epsilonInv must be at least 1")
+		panic(simerr.New(simerr.ErrBadConfig, "core: BIP epsilonInv must be at least 1, got %d", epsilonInv))
 	}
 	return &BIP{epsilonInv: epsilonInv, rng: trace.NewRNG(seed | 1)}
 }

@@ -1,6 +1,10 @@
 package core
 
-import "mlpcache/internal/trace"
+import (
+	"mlpcache/internal/trace"
+
+	"mlpcache/internal/simerr"
+)
 
 // LeaderSelector decides which cache sets are SBAR leader sets. The cache
 // is logically divided into K equal constituencies of N/K consecutive
@@ -99,14 +103,25 @@ func (r *randDynamic) Reselect() bool {
 	return false
 }
 
-func validateLeaderGeometry(sets, k int) {
+// ValidateLeaderGeometry checks that k leader sets tile a cache with the
+// given number of sets (k must be positive, no larger than sets, and
+// divide it evenly). Failures wrap simerr.ErrBadConfig; sim.Config uses
+// this to reject bad sampling geometry before construction.
+func ValidateLeaderGeometry(sets, k int) error {
 	if sets <= 0 || k <= 0 {
-		panic("core: sets and k must be positive")
+		return simerr.New(simerr.ErrBadConfig, "core: sets and leader count must be positive, got sets=%d k=%d", sets, k)
 	}
 	if k > sets {
-		panic("core: more leader sets than sets")
+		return simerr.New(simerr.ErrBadConfig, "core: %d leader sets exceed %d sets", k, sets)
 	}
 	if sets%k != 0 {
-		panic("core: leader count must divide set count")
+		return simerr.New(simerr.ErrBadConfig, "core: leader count %d must divide set count %d", k, sets)
+	}
+	return nil
+}
+
+func validateLeaderGeometry(sets, k int) {
+	if err := ValidateLeaderGeometry(sets, k); err != nil {
+		panic(err)
 	}
 }

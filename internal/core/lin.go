@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"mlpcache/internal/cache"
+
+	"mlpcache/internal/simerr"
 )
 
 // CostAware is the cost-aware replacement engine (the paper's CARE): any
@@ -19,7 +21,7 @@ type CostAware struct {
 // NewCostAware builds a CARE policy from an arbitrary score function.
 func NewCostAware(name string, score func(recency, costQ int) int) *CostAware {
 	if score == nil {
-		panic("core: NewCostAware needs a score function")
+		panic(simerr.New(simerr.ErrBadConfig, "core: NewCostAware needs a score function"))
 	}
 	return &CostAware{name: name, score: score}
 }
@@ -31,7 +33,7 @@ func NewCostAware(name string, score func(recency, costQ int) int) *CostAware {
 // λ=0 degenerates to LRU; the paper's default is λ=4.
 func NewLIN(lambda int) *CostAware {
 	if lambda < 0 {
-		panic("core: LIN lambda must be non-negative")
+		panic(simerr.New(simerr.ErrBadConfig, "core: LIN lambda must be non-negative, got %d", lambda))
 	}
 	return NewCostAware(fmt.Sprintf("lin%d", lambda), func(r, c int) int {
 		return r + lambda*c

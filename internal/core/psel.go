@@ -1,5 +1,7 @@
 package core
 
+import "mlpcache/internal/simerr"
+
 // PSEL is the policy-selector saturating counter of Section 6.1. It is
 // incremented when the MLP-aware contestant is doing better and
 // decremented when the traditional contestant is, each time by the
@@ -17,7 +19,7 @@ type PSEL struct {
 // neither policy starts favoured.
 func NewPSEL(bits int) *PSEL {
 	if bits < 1 || bits > 30 {
-		panic("core: PSEL bits out of range")
+		panic(simerr.New(simerr.ErrBadConfig, "core: PSEL bits must be in [1,30], got %d", bits))
 	}
 	max := 1<<bits - 1
 	return &PSEL{value: (max + 1) / 2, max: max, mid: (max + 1) / 2}

@@ -13,6 +13,8 @@
 // package consumes the resulting cost values.
 package core
 
+import "mlpcache/internal/simerr"
+
 // CostQBits is the width of the quantized MLP-based cost stored in each
 // tag entry (Figure 3b uses 3 bits).
 const CostQBits = 3
@@ -41,7 +43,7 @@ func Quantize(mlpCost float64) uint8 {
 // quantization-granularity ablation. bits must be in [1, 8].
 func QuantizeWith(mlpCost float64, bits int) uint8 {
 	if bits < 1 || bits > 8 {
-		panic("core: QuantizeWith bits out of range")
+		panic(simerr.New(simerr.ErrBadConfig, "core: QuantizeWith bits must be in [1,8], got %d", bits))
 	}
 	if mlpCost <= 0 {
 		return 0

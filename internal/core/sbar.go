@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"mlpcache/internal/cache"
+
+	"mlpcache/internal/simerr"
 )
 
 // SBARConfig parameterizes Sampling Based Adaptive Replacement.
@@ -73,7 +75,7 @@ func NewSBAR(mtd *cache.Cache, cfg SBARConfig) *SBAR {
 	mcfg := mtd.Config()
 	cfg.setDefaults(mcfg.Sets)
 	if cfg.Selector.K() != cfg.LeaderSets {
-		panic("core: SBAR selector disagrees with LeaderSets")
+		panic(simerr.New(simerr.ErrBadConfig, "core: SBAR selector provides %d leaders, config wants %d", cfg.Selector.K(), cfg.LeaderSets))
 	}
 	if cfg.Experimental == nil {
 		cfg.Experimental = NewLIN(cfg.Lambda)
@@ -109,7 +111,7 @@ func (s *SBAR) newATD() *cache.Cache {
 		Index: func(block uint64) (int, uint64) {
 			slot, leader := sel.Slot(int(block % sets))
 			if !leader {
-				panic(fmt.Sprintf("core: non-leader block %#x routed to SBAR ATD", block))
+				panic(simerr.New(simerr.ErrInternal, "core: non-leader block %#x routed to SBAR ATD", block))
 			}
 			return slot, block
 		},
@@ -236,3 +238,39 @@ func (s *SBAR) Stats() HybridStats { return s.stats }
 
 // ATD exposes the auxiliary directory (read-only use in tests).
 func (s *SBAR) ATD() *cache.Cache { return s.atd }
+
+// AuditInvariants cross-checks SBAR's sampling bookkeeping and returns a
+// description of every violated invariant (empty when consistent): the
+// PSEL value stays inside its bit width, every block resident in the
+// leader-set ATD routes to the leader slot holding it, and pending
+// contest outcomes concern leader sets only. It never mutates state.
+func (s *SBAR) AuditInvariants() []string {
+	var out []string
+	if v, max := s.psel.Value(), s.psel.Max(); v < 0 || v > max {
+		out = append(out, fmt.Sprintf("psel value %d outside [0,%d]", v, max))
+	}
+	sets := uint64(s.mtd.Config().Sets)
+	acfg := s.atd.Config()
+	for set := 0; set < acfg.Sets; set++ {
+		view := s.atd.ViewSet(set)
+		for w := 0; w < view.Ways(); w++ {
+			ln := view.Line(w)
+			if !ln.Valid {
+				continue
+			}
+			// The ATD indexer stores the full block number as tag.
+			slot, leader := s.sel.Slot(int(ln.Tag % sets))
+			if !leader {
+				out = append(out, fmt.Sprintf("ATD set %d holds non-leader block %#x", set, ln.Tag))
+			} else if slot != set {
+				out = append(out, fmt.Sprintf("ATD block %#x belongs in slot %d but sits in set %d", ln.Tag, slot, set))
+			}
+		}
+	}
+	for block := range s.pending {
+		if _, leader := s.sel.Slot(int(block % sets)); !leader {
+			out = append(out, fmt.Sprintf("pending contest for non-leader block %#x", block))
+		}
+	}
+	return out
+}

@@ -14,6 +14,7 @@ package cpu
 
 import (
 	"mlpcache/internal/bpred"
+	"mlpcache/internal/simerr"
 	"mlpcache/internal/trace"
 )
 
@@ -51,6 +52,28 @@ func DefaultConfig() Config {
 		FPLat:              4,
 		DivLat:             16,
 	}
+}
+
+// Validate checks the configuration, wrapping failures in
+// simerr.ErrBadConfig.
+func (c Config) Validate() error {
+	if c.ROBEntries <= 0 || c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0 {
+		return simerr.New(simerr.ErrBadConfig,
+			"cpu: widths and window size must be positive (rob=%d fetch=%d issue=%d retire=%d)",
+			c.ROBEntries, c.FetchWidth, c.IssueWidth, c.RetireWidth)
+	}
+	if c.MemPorts <= 0 {
+		return simerr.New(simerr.ErrBadConfig, "cpu: MemPorts must be positive, got %d", c.MemPorts)
+	}
+	if c.StoreBufferEntries < 0 {
+		return simerr.New(simerr.ErrBadConfig, "cpu: StoreBufferEntries must be non-negative, got %d", c.StoreBufferEntries)
+	}
+	if c.BranchPredictor != nil {
+		if err := c.BranchPredictor.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MemSystem is the data-memory interface the core issues to.
@@ -176,11 +199,11 @@ func (h *eventHeap) pop() {
 
 // New builds a core that executes src against mem.
 func New(cfg Config, mem MemSystem, src trace.Source) *CPU {
-	if cfg.ROBEntries <= 0 || cfg.FetchWidth <= 0 || cfg.IssueWidth <= 0 || cfg.RetireWidth <= 0 {
-		panic("cpu: widths and window size must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if mem == nil || src == nil {
-		panic("cpu: need a memory system and a source")
+		panic(simerr.New(simerr.ErrBadConfig, "cpu: need a memory system and a source"))
 	}
 	c := &CPU{
 		cfg:      cfg,

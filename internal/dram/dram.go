@@ -7,6 +7,8 @@
 // misses drift into the high-cost bins of Figure 2.
 package dram
 
+import "mlpcache/internal/simerr"
+
 // Config parameterizes the memory system.
 type Config struct {
 	// Banks is the number of independent DRAM banks (32).
@@ -16,6 +18,18 @@ type Config struct {
 	// BusCycles is the bus occupancy per block transfer (44: a 64-byte
 	// block over a 16-byte bus at 4:1 frequency, plus arbitration).
 	BusCycles uint64
+}
+
+// Validate checks the configuration, wrapping failures in
+// simerr.ErrBadConfig.
+func (c Config) Validate() error {
+	if c.Banks <= 0 {
+		return simerr.New(simerr.ErrBadConfig, "dram: Banks must be positive, got %d", c.Banks)
+	}
+	if c.AccessCycles == 0 {
+		return simerr.New(simerr.ErrBadConfig, "dram: AccessCycles must be positive")
+	}
+	return nil
 }
 
 // Default returns the baseline configuration.
@@ -45,10 +59,12 @@ type DRAM struct {
 	stats    Stats
 }
 
-// New builds a memory model.
+// New builds a memory model. It panics (with a typed
+// simerr.ErrBadConfig error) on an invalid configuration; validate
+// externally-sourced configs with Config.Validate first.
 func New(cfg Config) *DRAM {
-	if cfg.Banks <= 0 {
-		panic("dram: Banks must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &DRAM{cfg: cfg, bankFree: make([]uint64, cfg.Banks)}
 }

@@ -29,6 +29,9 @@ func SensitivityIDs() []string {
 
 // RunByID executes one experiment and renders it to w.
 func RunByID(r *Runner, id string, w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
 	res, err := resolve(r, id)
 	if err != nil {
 		return err
@@ -87,6 +90,9 @@ func resolve(r *Runner, id string) (renderable, error) {
 
 // RunByIDCSV executes one experiment and writes its data rows as CSV.
 func RunByIDCSV(r *Runner, id string, w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
 	res, err := resolve(r, id)
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"mlpcache/internal/sim"
+	"mlpcache/internal/simerr"
 	"mlpcache/internal/workload"
 )
 
@@ -43,6 +44,24 @@ func NewRunner(instructions, seed uint64) *Runner {
 		Seed:         seed,
 		cache:        make(map[string]sim.Result),
 	}
+}
+
+// Validate checks that every benchmark the runner is restricted to
+// exists in the workload registry and that the run parameters are sane,
+// wrapping failures in simerr.ErrUnknownBenchmark / simerr.ErrBadConfig.
+// RunByID and RunByIDCSV call it before running anything, so a typo'd
+// -bench flag surfaces as one typed error instead of a panic mid-suite.
+func (r *Runner) Validate() error {
+	for _, b := range r.Benchmarks {
+		if _, ok := workload.ByName(b); !ok {
+			return simerr.New(simerr.ErrUnknownBenchmark,
+				"experiments: unknown benchmark %q (known: %v)", b, workload.Names())
+		}
+	}
+	if r.Instructions == 0 {
+		return simerr.New(simerr.ErrBadConfig, "experiments: instruction budget must be positive")
+	}
+	return nil
 }
 
 // Names returns the benchmark list this runner covers.
@@ -79,14 +98,15 @@ func (r *Runner) run(bench string, spec sim.PolicySpec, interval, epoch uint64) 
 
 	w, ok := workload.ByName(bench)
 	if !ok {
-		panic("experiments: unknown benchmark " + bench)
+		// Validate catches external requests; reaching this is a bug.
+		panic(simerr.New(simerr.ErrUnknownBenchmark, "experiments: unknown benchmark %q", bench))
 	}
 	cfg := sim.DefaultConfig()
 	cfg.MaxInstructions = r.Instructions
 	cfg.Policy = spec
 	cfg.SampleInterval = interval
 	cfg.EpochInstructions = epoch
-	res := sim.Run(cfg, w.Build(r.Seed))
+	res := sim.MustRun(cfg, w.Build(r.Seed))
 
 	r.mu.Lock()
 	r.cache[key] = res

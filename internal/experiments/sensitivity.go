@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mlpcache/internal/sim"
+	"mlpcache/internal/simerr"
 	"mlpcache/internal/workload"
 )
 
@@ -40,14 +41,14 @@ func runSensPoint(instructions, seed uint64, param, value, bench string,
 
 	w, ok := workload.ByName(bench)
 	if !ok {
-		panic("experiments: unknown benchmark " + bench)
+		panic(simerr.New(simerr.ErrUnknownBenchmark, "experiments: unknown benchmark %q", bench))
 	}
 	run := func(spec sim.PolicySpec) sim.Result {
 		cfg := sim.DefaultConfig()
 		cfg.MaxInstructions = instructions
 		cfg.Policy = spec
 		mutate(&cfg)
-		return sim.Run(cfg, w.Build(seed))
+		return sim.MustRun(cfg, w.Build(seed))
 	}
 	lru := run(sim.PolicySpec{Kind: sim.PolicyLRU})
 	lin := run(sim.PolicySpec{Kind: sim.PolicyLIN, Lambda: 4})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mlpcache/internal/sim"
+	"mlpcache/internal/simerr"
 	"mlpcache/internal/workload"
 )
 
@@ -36,7 +37,7 @@ func Stability(r *Runner) StabilityResult {
 	for _, b := range stabilityBenches {
 		w, ok := workload.ByName(b)
 		if !ok {
-			panic("experiments: unknown benchmark " + b)
+			panic(simerr.New(simerr.ErrUnknownBenchmark, "experiments: unknown benchmark %q", b))
 		}
 		row := StabilityRow{Bench: b, SignStable: true}
 		var linDeltas, sbarDeltas []float64
@@ -45,7 +46,7 @@ func Stability(r *Runner) StabilityResult {
 				cfg := sim.DefaultConfig()
 				cfg.MaxInstructions = r.Instructions
 				cfg.Policy = spec
-				return sim.Run(cfg, w.Build(seed))
+				return sim.MustRun(cfg, w.Build(seed))
 			}
 			base := run(sim.PolicySpec{Kind: sim.PolicyLRU})
 			lin := run(sim.PolicySpec{Kind: sim.PolicyLIN, Lambda: 4})

@@ -1,0 +1,136 @@
+// Package faultinject implements the simulator's deterministic
+// fault-injection harness. A Plan describes which faults to inject —
+// DRAM latency jitter, mid-run MSHR capacity throttling — and byte-level
+// helpers corrupt encoded trace streams for decode-robustness tests.
+//
+// Every fault source is seeded: the same Plan produces the same fault
+// sequence, so a failure found under injection replays exactly. The
+// package deliberately has no dependency on time or math/rand.
+//
+// The contract the robustness tests enforce: under any Plan the
+// simulator either completes with a well-formed Result or returns a
+// wrapped typed error — it never panics, deadlocks, or silently
+// miscounts.
+package faultinject
+
+import "mlpcache/internal/simerr"
+
+// Plan describes the faults to inject into one run. The zero value
+// injects nothing.
+type Plan struct {
+	// Seed drives every random choice the injector makes.
+	Seed uint64
+	// DRAMJitterMax, when positive, adds a uniform random 0..DRAMJitterMax
+	// extra cycles to every DRAM access latency, modelling refresh
+	// interference and scheduling noise.
+	DRAMJitterMax uint64
+	// MSHRCapacity, when positive, throttles the MSHR file to this many
+	// allocatable entries once MSHRThrottleAfter instructions have
+	// retired, modelling a partially failed miss file.
+	MSHRCapacity int
+	// MSHRThrottleAfter is the retired-instruction count at which the
+	// MSHR throttle engages (immediately when zero).
+	MSHRThrottleAfter uint64
+}
+
+// Active reports whether the plan injects any fault.
+func (p Plan) Active() bool {
+	return p.DRAMJitterMax > 0 || p.MSHRCapacity > 0
+}
+
+// Validate checks the plan, wrapping failures in simerr.ErrBadConfig.
+func (p Plan) Validate() error {
+	if p.MSHRCapacity < 0 {
+		return simerr.New(simerr.ErrBadConfig, "faultinject: MSHRCapacity must be non-negative, got %d", p.MSHRCapacity)
+	}
+	return nil
+}
+
+// Injector is the run-time state of one plan: a seeded generator plus
+// one-shot bookkeeping for the throttle.
+type Injector struct {
+	plan      Plan
+	rng       uint64
+	throttled bool
+}
+
+// NewInjector builds an injector for the plan. It panics (with a typed
+// simerr.ErrBadConfig error) on an invalid plan; validate
+// externally-sourced plans with Plan.Validate first.
+func NewInjector(p Plan) *Injector {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	// xorshift needs a non-zero state; fold the seed through splitmix-style
+	// mixing so adjacent seeds diverge immediately.
+	s := p.Seed + 0x9e3779b97f4a7c15
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	s ^= s >> 27
+	return &Injector{plan: p, rng: s | 1}
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// next steps the xorshift64 generator.
+func (in *Injector) next() uint64 {
+	x := in.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	in.rng = x
+	return x
+}
+
+// Jitter returns the extra DRAM latency for one access: uniform in
+// [0, DRAMJitterMax], or 0 when jitter is disabled.
+func (in *Injector) Jitter() uint64 {
+	if in == nil || in.plan.DRAMJitterMax == 0 {
+		return 0
+	}
+	return in.next() % (in.plan.DRAMJitterMax + 1)
+}
+
+// ThrottleDue reports, given the retired-instruction count, whether the
+// MSHR throttle should engage now, and to what capacity. It fires at
+// most once per injector.
+func (in *Injector) ThrottleDue(retired uint64) (capacity int, due bool) {
+	if in == nil || in.throttled || in.plan.MSHRCapacity <= 0 {
+		return 0, false
+	}
+	if retired < in.plan.MSHRThrottleAfter {
+		return 0, false
+	}
+	in.throttled = true
+	return in.plan.MSHRCapacity, true
+}
+
+// FlipBits returns a copy of data with n random bit flips (positions
+// drawn from the seed), sparing the first skip bytes — pass the magic
+// length to corrupt a trace body while keeping its header readable.
+// It is a test helper for decode-robustness checks.
+func FlipBits(data []byte, seed uint64, n, skip int) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if len(out) <= skip {
+		return out
+	}
+	in := NewInjector(Plan{Seed: seed})
+	for i := 0; i < n; i++ {
+		pos := skip + int(in.next()%uint64(len(out)-skip))
+		out[pos] ^= 1 << (in.next() % 8)
+	}
+	return out
+}
+
+// Truncate returns the first keep bytes of data (all of it when keep is
+// out of range), modelling a trace file cut short mid-record.
+func Truncate(data []byte, keep int) []byte {
+	if keep < 0 || keep > len(data) {
+		keep = len(data)
+	}
+	out := make([]byte, keep)
+	copy(out, data[:keep])
+	return out
+}

@@ -1,0 +1,121 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mlpcache/internal/simerr"
+)
+
+func TestZeroPlanIsInert(t *testing.T) {
+	if (Plan{}).Active() {
+		t.Fatal("zero plan reports active")
+	}
+	in := NewInjector(Plan{})
+	for i := 0; i < 100; i++ {
+		if in.Jitter() != 0 {
+			t.Fatal("inert injector produced jitter")
+		}
+	}
+	if _, due := in.ThrottleDue(1 << 40); due {
+		t.Fatal("inert injector requested a throttle")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Jitter() != 0 {
+		t.Fatal("nil injector produced jitter")
+	}
+	if _, due := in.ThrottleDue(0); due {
+		t.Fatal("nil injector requested a throttle")
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	const max = 37
+	a := NewInjector(Plan{Seed: 9, DRAMJitterMax: max})
+	b := NewInjector(Plan{Seed: 9, DRAMJitterMax: max})
+	c := NewInjector(Plan{Seed: 10, DRAMJitterMax: max})
+	same, diff := true, false
+	var seenNonZero bool
+	for i := 0; i < 10_000; i++ {
+		ja, jb, jc := a.Jitter(), b.Jitter(), c.Jitter()
+		if ja > max {
+			t.Fatalf("jitter %d exceeds max %d", ja, max)
+		}
+		if ja != jb {
+			same = false
+		}
+		if ja != jc {
+			diff = true
+		}
+		if ja != 0 {
+			seenNonZero = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different jitter sequences")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+	if !seenNonZero {
+		t.Fatal("jitter never fired")
+	}
+}
+
+func TestThrottleFiresOnce(t *testing.T) {
+	in := NewInjector(Plan{MSHRCapacity: 4, MSHRThrottleAfter: 1000})
+	if _, due := in.ThrottleDue(999); due {
+		t.Fatal("throttle fired early")
+	}
+	capacity, due := in.ThrottleDue(1000)
+	if !due || capacity != 4 {
+		t.Fatalf("ThrottleDue(1000) = %d,%v; want 4,true", capacity, due)
+	}
+	if _, due := in.ThrottleDue(2000); due {
+		t.Fatal("throttle fired twice")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Plan{MSHRCapacity: -1}).Validate(); !errors.Is(err, simerr.ErrBadConfig) {
+		t.Fatalf("negative capacity: err = %v, want ErrBadConfig", err)
+	}
+	if err := (Plan{Seed: 3, DRAMJitterMax: 10, MSHRCapacity: 2}).Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestFlipBitsDeterministicSparesHeader(t *testing.T) {
+	data := bytes.Repeat([]byte{0xAA}, 64)
+	a := FlipBits(data, 7, 10, 5)
+	b := FlipBits(data, 7, 10, 5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruptions")
+	}
+	if bytes.Equal(a, data) {
+		t.Fatal("no bits flipped")
+	}
+	if !bytes.Equal(a[:5], data[:5]) {
+		t.Fatal("header bytes were corrupted despite skip")
+	}
+	if !bytes.Equal(data, bytes.Repeat([]byte{0xAA}, 64)) {
+		t.Fatal("FlipBits mutated its input")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	data := []byte{1, 2, 3, 4}
+	if got := Truncate(data, 2); !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("Truncate = %v", got)
+	}
+	if got := Truncate(data, 99); !bytes.Equal(got, data) {
+		t.Fatalf("out-of-range keep: %v", got)
+	}
+	if got := Truncate(data, -1); !bytes.Equal(got, data) {
+		t.Fatalf("negative keep: %v", got)
+	}
+}

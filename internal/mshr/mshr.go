@@ -12,7 +12,11 @@
 // difference.
 package mshr
 
-import "fmt"
+import (
+	"fmt"
+
+	"mlpcache/internal/simerr"
+)
 
 // Config parameterizes the MSHR file.
 type Config struct {
@@ -28,6 +32,21 @@ type Config struct {
 	CostCap float64
 }
 
+// Validate checks the configuration, wrapping failures in
+// simerr.ErrBadConfig.
+func (c Config) Validate() error {
+	if c.Entries <= 0 {
+		return simerr.New(simerr.ErrBadConfig, "mshr: Entries must be positive, got %d", c.Entries)
+	}
+	if c.Adders < 0 {
+		return simerr.New(simerr.ErrBadConfig, "mshr: Adders must be non-negative, got %d", c.Adders)
+	}
+	if c.CostCap < 0 {
+		return simerr.New(simerr.ErrBadConfig, "mshr: CostCap must be non-negative, got %v", c.CostCap)
+	}
+	return nil
+}
+
 type entry struct {
 	block      uint64
 	valid      bool
@@ -38,11 +57,12 @@ type entry struct {
 
 // MSHR is the miss file.
 type MSHR struct {
-	cfg     Config
-	entries []entry
-	index   map[uint64]int // block → slot
-	demand  int            // count of valid demand entries
-	rr      int            // round-robin pointer for adder sharing
+	cfg      Config
+	capacity int // allocatable entries; <= cfg.Entries (see SetCapacity)
+	entries  []entry
+	index    map[uint64]int // block → slot
+	demand   int            // count of valid demand entries
+	rr       int            // round-robin pointer for adder sharing
 
 	// Exact-mode cost clock: clock accumulates Σ 1/N(t) over cycles with
 	// N(t) > 0 demand misses outstanding. An entry's cost is the clock
@@ -56,13 +76,16 @@ type MSHR struct {
 	Peak int
 }
 
-// New builds an MSHR file.
+// New builds an MSHR file. It panics (with a typed simerr.ErrBadConfig
+// error) on an invalid configuration; validate externally-sourced
+// configs with Config.Validate first.
 func New(cfg Config) *MSHR {
-	if cfg.Entries <= 0 {
-		panic("mshr: Entries must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &MSHR{
 		cfg:       cfg,
+		capacity:  cfg.Entries,
 		entries:   make([]entry, cfg.Entries),
 		index:     make(map[uint64]int, cfg.Entries),
 		clockBase: make(map[uint64]float64, cfg.Entries),
@@ -90,7 +113,26 @@ func (m *MSHR) Config() Config { return m.cfg }
 func (m *MSHR) Len() int { return len(m.index) }
 
 // Full reports whether no entry is free.
-func (m *MSHR) Full() bool { return len(m.index) == m.cfg.Entries }
+func (m *MSHR) Full() bool { return len(m.index) >= m.capacity }
+
+// Capacity returns the number of currently allocatable entries.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// SetCapacity throttles the file to n allocatable entries (clamped to
+// the configured entry count). Entries beyond the new capacity that are
+// already in flight complete normally; only new allocations are gated.
+// The fault-injection harness uses this to model a degraded miss file
+// mid-run. It returns a wrapped simerr.ErrBadConfig for n < 1.
+func (m *MSHR) SetCapacity(n int) error {
+	if n < 1 {
+		return simerr.New(simerr.ErrBadConfig, "mshr: capacity must be at least 1, got %d", n)
+	}
+	if n > m.cfg.Entries {
+		n = m.cfg.Entries
+	}
+	m.capacity = n
+	return nil
+}
 
 // OutstandingDemand returns N, the number of outstanding demand misses.
 func (m *MSHR) OutstandingDemand() int { return m.demand }
@@ -191,12 +233,15 @@ func (m *MSHR) addCost(i int, amount float64) {
 }
 
 // Free releases the block's entry when its miss is serviced, returning
-// the accumulated MLP-based cost. It panics if the block has no entry
-// (a protocol violation in the caller, not a runtime condition).
-func (m *MSHR) Free(block uint64, cycle uint64) float64 {
+// the accumulated MLP-based cost. Freeing a block with no entry — a
+// double free or a free-without-allocate, a protocol violation in the
+// caller — returns a wrapped simerr.ErrMSHRLeak instead of panicking, so
+// the violation propagates to sim.Run's caller as a typed error.
+func (m *MSHR) Free(block uint64, cycle uint64) (float64, error) {
 	i, ok := m.index[block]
 	if !ok {
-		panic(fmt.Sprintf("mshr: Free of block %#x with no entry", block))
+		return 0, simerr.New(simerr.ErrMSHRLeak,
+			"mshr: Free of block %#x with no entry (double free or free-without-allocate)", block)
 	}
 	e := &m.entries[i]
 	var cost float64
@@ -225,7 +270,7 @@ func (m *MSHR) Free(block uint64, cycle uint64) float64 {
 	}
 	e.valid = false
 	delete(m.index, block)
-	return cost
+	return cost, nil
 }
 
 // Cost returns the block's accumulated cost as of the given cycle; ok is
@@ -243,4 +288,63 @@ func (m *MSHR) Cost(block uint64, cycle uint64) (cost float64, ok bool) {
 		return m.clock - m.clockBase[block], true
 	}
 	return m.entries[i].cost, true
+}
+
+// AuditInvariants cross-checks the file's internal bookkeeping and
+// returns a description of every violated invariant (empty when
+// consistent). The audit package runs this periodically during audited
+// simulations; it never mutates state.
+//
+// Checked invariants: the index maps exactly the valid entries (no leak,
+// no alias, no dangling slot); the demand counter equals the number of
+// valid demand entries; occupancy never exceeds the configured size; in
+// exact mode every valid demand entry has a cost-clock base no greater
+// than the current clock.
+func (m *MSHR) AuditInvariants() []string {
+	var out []string
+	valid := 0
+	demand := 0
+	for i := range m.entries {
+		e := &m.entries[i]
+		if !e.valid {
+			continue
+		}
+		valid++
+		if e.demand {
+			demand++
+		}
+		slot, ok := m.index[e.block]
+		if !ok {
+			out = append(out, fmt.Sprintf("valid entry %d (block %#x) missing from index", i, e.block))
+		} else if slot != i {
+			out = append(out, fmt.Sprintf("block %#x indexed at slot %d but stored at %d", e.block, slot, i))
+		}
+		if m.Exact() && e.demand {
+			base, ok := m.clockBase[e.block]
+			if !ok {
+				out = append(out, fmt.Sprintf("demand block %#x has no cost-clock base", e.block))
+			} else if base > m.clock {
+				out = append(out, fmt.Sprintf("demand block %#x clock base %v ahead of clock %v", e.block, base, m.clock))
+			}
+		}
+	}
+	if len(m.index) != valid {
+		out = append(out, fmt.Sprintf("index holds %d blocks but %d entries are valid", len(m.index), valid))
+	}
+	if m.demand != demand {
+		out = append(out, fmt.Sprintf("demand counter %d but %d valid demand entries", m.demand, demand))
+	}
+	if valid > m.cfg.Entries {
+		out = append(out, fmt.Sprintf("occupancy %d exceeds configured %d entries", valid, m.cfg.Entries))
+	}
+	for block, slot := range m.index {
+		if slot < 0 || slot >= len(m.entries) {
+			out = append(out, fmt.Sprintf("block %#x indexed at out-of-range slot %d", block, slot))
+			continue
+		}
+		if !m.entries[slot].valid || m.entries[slot].block != block {
+			out = append(out, fmt.Sprintf("index entry %#x→%d dangles", block, slot))
+		}
+	}
+	return out
 }

@@ -1,11 +1,24 @@
 package mshr
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"mlpcache/internal/simerr"
 )
+
+// free is the test-side Free wrapper: a protocol error fails the test.
+func free(t *testing.T, m *MSHR, block, cycle uint64) float64 {
+	t.Helper()
+	cost, err := m.Free(block, cycle)
+	if err != nil {
+		t.Fatalf("Free(%#x, %d): %v", block, cycle, err)
+	}
+	return cost
+}
 
 func TestIsolatedMissCostEqualsLifetime(t *testing.T) {
 	m := New(Config{Entries: 32})
@@ -13,7 +26,7 @@ func TestIsolatedMissCostEqualsLifetime(t *testing.T) {
 	for c := uint64(101); c <= 544; c++ {
 		m.Tick(c)
 	}
-	cost := m.Free(1, 544)
+	cost := free(t, m, 1, 544)
 	if cost != 444 {
 		t.Fatalf("isolated cost = %v, want 444", cost)
 	}
@@ -23,8 +36,8 @@ func TestTwoParallelMissesSplitTheCost(t *testing.T) {
 	m := New(Config{Entries: 32})
 	m.Allocate(1, true, 0)
 	m.Allocate(2, true, 0)
-	c1 := m.Free(1, 444)
-	c2 := m.Free(2, 444)
+	c1 := free(t, m, 1, 444)
+	c2 := free(t, m, 2, 444)
 	if math.Abs(c1-222) > 1e-9 || math.Abs(c2-222) > 1e-9 {
 		t.Fatalf("parallel costs = %v, %v; want 222 each", c1, c2)
 	}
@@ -36,11 +49,11 @@ func TestStaggeredOverlap(t *testing.T) {
 	m := New(Config{Entries: 32})
 	m.Allocate(1, true, 0)
 	m.Allocate(2, true, 100)
-	if got := m.Free(1, 200); math.Abs(got-150) > 1e-9 {
+	if got := free(t, m, 1, 200); math.Abs(got-150) > 1e-9 {
 		t.Fatalf("A cost = %v, want 150", got)
 	}
 	// B continues alone for 50 more: 100·½ + 50 = 100.
-	if got := m.Free(2, 250); math.Abs(got-100) > 1e-9 {
+	if got := free(t, m, 2, 250); math.Abs(got-100) > 1e-9 {
 		t.Fatalf("B cost = %v, want 100", got)
 	}
 }
@@ -70,7 +83,7 @@ func TestFullRejects(t *testing.T) {
 	if _, full := m.Allocate(3, true, 0); !full {
 		t.Fatal("allocation into a full file must report full")
 	}
-	m.Free(1, 10)
+	free(t, m, 1, 10)
 	if m.Full() {
 		t.Fatal("still full after Free")
 	}
@@ -79,14 +92,105 @@ func TestFullRejects(t *testing.T) {
 	}
 }
 
-func TestFreeUnknownPanics(t *testing.T) {
+func TestFreeUnknownReturnsTypedError(t *testing.T) {
 	m := New(Config{Entries: 2})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	if _, err := m.Free(42, 0); !errors.Is(err, simerr.ErrMSHRLeak) {
+		t.Fatalf("Free of unknown block: err = %v, want ErrMSHRLeak", err)
+	}
+}
+
+func TestDoubleFreeReturnsTypedError(t *testing.T) {
+	m := New(Config{Entries: 2})
+	m.Allocate(7, true, 0)
+	free(t, m, 7, 100)
+	_, err := m.Free(7, 101)
+	if !errors.Is(err, simerr.ErrMSHRLeak) {
+		t.Fatalf("double free: err = %v, want ErrMSHRLeak", err)
+	}
+	// The failed free must not corrupt state: a fresh allocate works.
+	if primary, full := m.Allocate(7, true, 102); !primary || full {
+		t.Fatal("allocate after failed double free should succeed")
+	}
+	if violations := m.AuditInvariants(); len(violations) != 0 {
+		t.Fatalf("state corrupted after double free: %v", violations)
+	}
+}
+
+func TestSetCapacityThrottles(t *testing.T) {
+	m := New(Config{Entries: 4})
+	m.Allocate(1, true, 0)
+	m.Allocate(2, true, 0)
+	m.Allocate(3, true, 0)
+	if err := m.SetCapacity(2); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Full() {
+		t.Fatal("throttled file with 3 in flight must report full at capacity 2")
+	}
+	// In-flight entries above the new capacity still complete.
+	free(t, m, 3, 50)
+	free(t, m, 2, 60)
+	if m.Full() {
+		t.Fatal("one of two capacity slots in use; must not be full")
+	}
+	if primary, full := m.Allocate(4, true, 70); !primary || full {
+		t.Fatal("allocation under the throttled capacity should succeed")
+	}
+	if primary, full := m.Allocate(5, true, 80); primary || !full {
+		t.Fatal("allocation beyond the throttled capacity must report full")
+	}
+	// Clamp: capacity cannot exceed the configured entries.
+	if err := m.SetCapacity(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Capacity() != 4 {
+		t.Fatalf("Capacity = %d after over-sized SetCapacity, want 4", m.Capacity())
+	}
+	if err := m.SetCapacity(0); !errors.Is(err, simerr.ErrBadConfig) {
+		t.Fatalf("SetCapacity(0): err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestAuditInvariantsClean(t *testing.T) {
+	for _, adders := range []int{0, 4} {
+		m := New(Config{Entries: 8, Adders: adders})
+		r := rand.New(rand.NewSource(11))
+		inflight := []uint64{}
+		next := uint64(0)
+		for cycle := uint64(1); cycle <= 5000; cycle++ {
+			m.Tick(cycle)
+			if r.Intn(10) == 0 && !m.Full() {
+				m.Allocate(next, r.Intn(4) > 0, cycle)
+				inflight = append(inflight, next)
+				next++
+			}
+			if r.Intn(12) == 0 && len(inflight) > 0 {
+				free(t, m, inflight[0], cycle)
+				inflight = inflight[1:]
+			}
+			if cycle%97 == 0 {
+				if v := m.AuditInvariants(); len(v) != 0 {
+					t.Fatalf("adders=%d cycle=%d: %v", adders, cycle, v)
+				}
+			}
 		}
-	}()
-	m.Free(42, 0)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{},
+		{Entries: -1},
+		{Entries: 4, Adders: -2},
+		{Entries: 4, CostCap: -1},
+	} {
+		if err := bad.Validate(); !errors.Is(err, simerr.ErrBadConfig) {
+			t.Fatalf("Validate(%+v) = %v, want ErrBadConfig", bad, err)
+		}
+	}
+	if err := (Config{Entries: 32, Adders: 4, CostCap: 420}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
 }
 
 func TestPendingAndCost(t *testing.T) {
@@ -109,7 +213,7 @@ func TestNonDemandAccruesNothing(t *testing.T) {
 	if m.OutstandingDemand() != 0 {
 		t.Fatal("non-demand entry counted as demand")
 	}
-	if cost := m.Free(1, 100); cost != 0 {
+	if cost := free(t, m, 1, 100); cost != 0 {
 		t.Fatalf("non-demand cost = %v, want 0", cost)
 	}
 }
@@ -121,7 +225,7 @@ func TestDemandUpgradeStartsCharging(t *testing.T) {
 	if m.OutstandingDemand() != 1 {
 		t.Fatal("upgrade did not mark demand")
 	}
-	if cost := m.Free(1, 200); math.Abs(cost-100) > 1e-9 {
+	if cost := free(t, m, 1, 200); math.Abs(cost-100) > 1e-9 {
 		t.Fatalf("upgraded cost = %v, want 100 (charged from upgrade)", cost)
 	}
 }
@@ -129,7 +233,7 @@ func TestDemandUpgradeStartsCharging(t *testing.T) {
 func TestCostCap(t *testing.T) {
 	m := New(Config{Entries: 4, CostCap: 100})
 	m.Allocate(1, true, 0)
-	if cost := m.Free(1, 10_000); cost != 100 {
+	if cost := free(t, m, 1, 10_000); cost != 100 {
 		t.Fatalf("capped cost = %v, want 100", cost)
 	}
 }
@@ -162,14 +266,22 @@ func TestCostConservationProperty(t *testing.T) {
 				}
 			case 1:
 				for b := range inflight {
-					total += m.Free(b, cycle)
+					c, err := m.Free(b, cycle)
+					if err != nil {
+						return false
+					}
+					total += c
 					delete(inflight, b)
 					break
 				}
 			}
 		}
 		for b := range inflight {
-			total += m.Free(b, cycle)
+			c, err := m.Free(b, cycle)
+			if err != nil {
+				return false
+			}
+			total += c
 		}
 		return math.Abs(total-float64(busy)) < 1e-6
 	}
@@ -194,12 +306,14 @@ func TestAdderSharingApproximation(t *testing.T) {
 				next++
 			}
 			if r.Intn(60) == 0 && len(inflight) > 0 {
-				costs = append(costs, m.Free(inflight[0], cycle))
+				c, _ := m.Free(inflight[0], cycle)
+				costs = append(costs, c)
 				inflight = inflight[1:]
 			}
 		}
 		for _, b := range inflight {
-			costs = append(costs, m.Free(b, 20_000))
+			c, _ := m.Free(b, 20_000)
+			costs = append(costs, c)
 		}
 		return costs
 	}
@@ -227,7 +341,7 @@ func TestPeakTracking(t *testing.T) {
 	for b := uint64(0); b < 5; b++ {
 		m.Allocate(b, true, 0)
 	}
-	m.Free(0, 10)
+	free(t, m, 0, 10)
 	if m.Peak != 5 {
 		t.Fatalf("Peak = %d, want 5", m.Peak)
 	}

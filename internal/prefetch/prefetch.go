@@ -16,6 +16,8 @@
 // address and a confirmed stride with 2-bit confidence.
 package prefetch
 
+import "mlpcache/internal/simerr"
+
 // Config parameterizes the stride prefetcher.
 type Config struct {
 	// Streams is the number of tracked streams (table entries).
@@ -31,6 +33,16 @@ type Config struct {
 	// RegionBits groups addresses into streams by their high bits
 	// (default 16: 64 KB regions).
 	RegionBits int
+}
+
+// Validate checks the configuration, wrapping failures in
+// simerr.ErrBadConfig. Degree, Distance and RegionBits have defaults
+// applied by New, so only Streams can be invalid.
+func (c Config) Validate() error {
+	if c.Streams <= 0 {
+		return simerr.New(simerr.ErrBadConfig, "prefetch: Streams must be positive, got %d", c.Streams)
+	}
+	return nil
 }
 
 // DefaultConfig returns a 16-stream, degree-4, distance-12 prefetcher.
@@ -67,10 +79,12 @@ type Prefetcher struct {
 	out     []uint64 // reused output buffer
 }
 
-// New builds a prefetcher.
+// New builds a prefetcher. It panics (with a typed
+// simerr.ErrBadConfig error) on an invalid configuration; validate
+// externally-sourced configs with Config.Validate first.
 func New(cfg Config) *Prefetcher {
-	if cfg.Streams <= 0 {
-		panic("prefetch: Streams must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.Degree <= 0 {
 		cfg.Degree = 1

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+
+	"mlpcache/internal/audit"
+	"mlpcache/internal/core"
+)
+
+// buildAuditor assembles the invariant checkers for one audited run:
+// structural checks on the L2 (recency-stack permutation, quantized-cost
+// bounds), the MSHR's own bookkeeping audit, agreement between the MSHR
+// and the memory system's in-flight fill table, and — when a hybrid
+// policy is racing — the selector and sampling-directory checks of the
+// engine in use (SBAR/DIP share *core.SBAR; CBS has its own).
+func buildAuditor(cfg Config, mem *memSystem, hybrid core.Hybrid) *audit.Auditor {
+	a := audit.New(cfg.AuditEvery,
+		audit.RecencyPermutation("l2-recency", mem.l2),
+		audit.CostQBound("l2-costq", mem.l2, 7),
+		audit.RecencyPermutation("l1-recency", mem.l1),
+		audit.Strings("mshr", mem.mshr.AuditInvariants),
+		audit.Func("mshr-inflight", func(_ uint64, report func(string)) {
+			// Every pending fill must hold an MSHR entry and vice
+			// versa: allocations and fills are created and retired
+			// together, so the two tables are a bijection.
+			for block := range mem.inflight {
+				if !mem.mshr.Pending(block) {
+					report(fmt.Sprintf("in-flight fill for block %#x has no MSHR entry", block))
+				}
+			}
+			if got, want := mem.mshr.Len(), len(mem.inflight); got != want {
+				report(fmt.Sprintf("MSHR holds %d entries but %d fills are in flight", got, want))
+			}
+		}),
+	)
+	switch h := hybrid.(type) {
+	case *core.SBAR:
+		a.Register(
+			audit.Strings("sbar", h.AuditInvariants),
+			audit.PselBound("sbar-psel", func() (int, int) {
+				p := h.Psel()
+				return p.Value(), p.Max()
+			}),
+		)
+	case *core.CBS:
+		a.Register(audit.Strings("cbs", h.AuditInvariants))
+	}
+	return a
+}

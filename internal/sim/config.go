@@ -14,8 +14,10 @@ import (
 	"mlpcache/internal/core"
 	"mlpcache/internal/cpu"
 	"mlpcache/internal/dram"
+	"mlpcache/internal/faultinject"
 	"mlpcache/internal/mshr"
 	"mlpcache/internal/prefetch"
+	"mlpcache/internal/simerr"
 )
 
 // PolicyKind names an L2 replacement configuration.
@@ -35,6 +37,27 @@ const (
 	PolicyCBSLocal  PolicyKind = "cbs-local"
 	PolicyCBSGlobal PolicyKind = "cbs-global"
 )
+
+// AllPolicies lists every supported replacement configuration; the
+// robustness sweep and CLIs iterate it.
+var AllPolicies = []PolicyKind{
+	PolicyLRU, PolicyFIFO, PolicyRandom, PolicyNMRU, PolicyLIN,
+	PolicyBCL, PolicyDCL, PolicyDIP, PolicySBAR, PolicyCBSLocal, PolicyCBSGlobal,
+}
+
+// Known reports whether the kind names a supported policy ("" selects
+// the LRU default).
+func (k PolicyKind) Known() bool {
+	if k == "" {
+		return true
+	}
+	for _, p := range AllPolicies {
+		if k == p {
+			return true
+		}
+	}
+	return false
+}
 
 // PolicySpec selects and parameterizes the L2 replacement policy.
 type PolicySpec struct {
@@ -124,6 +147,73 @@ type Config struct {
 	// merges into them, at which point the cost clock starts — the
 	// paper's definition of a demand miss, kept intact.
 	Prefetch *prefetch.Config
+	// Audit enables the invariant auditor: a full checker pass over the
+	// cache recency stacks, MSHR bookkeeping, quantized costs and
+	// selector counters every AuditEvery cycles. Violations make Run
+	// return a wrapped simerr.ErrInvariant alongside the Result.
+	Audit bool
+	// AuditEvery is the audit period in cycles (audit.DefaultEvery when
+	// zero).
+	AuditEvery uint64
+	// Faults, when non-nil and active, injects the described faults
+	// (deterministic, seeded) into the run. See faultinject.Plan.
+	Faults *faultinject.Plan
+}
+
+// Validate checks the whole machine configuration, wrapping every
+// failure in simerr.ErrBadConfig. Run calls it before constructing
+// anything, so a bad configuration surfaces as one typed error instead
+// of a panic mid-build.
+func (c Config) Validate() error {
+	if err := c.CPU.Validate(); err != nil {
+		return fmt.Errorf("sim: cpu: %w", err)
+	}
+	if err := c.L1.Validate(); err != nil {
+		return fmt.Errorf("sim: l1: %w", err)
+	}
+	if err := c.L2.Validate(); err != nil {
+		return fmt.Errorf("sim: l2: %w", err)
+	}
+	if err := c.MSHR.Validate(); err != nil {
+		return fmt.Errorf("sim: mshr: %w", err)
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return fmt.Errorf("sim: dram: %w", err)
+	}
+	if c.Prefetch != nil {
+		if err := c.Prefetch.Validate(); err != nil {
+			return fmt.Errorf("sim: prefetch: %w", err)
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("sim: faults: %w", err)
+		}
+	}
+	spec := c.Policy
+	if !spec.Kind.Known() {
+		return simerr.New(simerr.ErrBadConfig, "sim: unknown policy %q", spec.Kind)
+	}
+	if spec.Lambda < 0 {
+		return simerr.New(simerr.ErrBadConfig, "sim: policy lambda must be non-negative, got %d", spec.Lambda)
+	}
+	if spec.PselBits < 0 || spec.PselBits > 30 {
+		return simerr.New(simerr.ErrBadConfig, "sim: policy PselBits must be in [0,30], got %d", spec.PselBits)
+	}
+	if spec.LeaderSets < 0 {
+		return simerr.New(simerr.ErrBadConfig, "sim: policy LeaderSets must be non-negative, got %d", spec.LeaderSets)
+	}
+	switch spec.Kind {
+	case PolicySBAR, PolicyDIP:
+		sets, err := c.L2.SetCount()
+		if err != nil {
+			return fmt.Errorf("sim: l2: %w", err)
+		}
+		if err := core.ValidateLeaderGeometry(sets, spec.leaderSets()); err != nil {
+			return fmt.Errorf("sim: policy %s: %w", spec.Kind, err)
+		}
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper's baseline machine (Table 2) with LRU
@@ -152,8 +242,9 @@ func DefaultConfig() Config {
 }
 
 // buildL2 constructs the L2 cache with the configured replacement policy,
-// returning the hybrid engine when one is in use.
-func buildL2(cfg Config) (*cache.Cache, core.Hybrid) {
+// returning the hybrid engine when one is in use. An unknown policy kind
+// yields a wrapped simerr.ErrBadConfig.
+func buildL2(cfg Config) (*cache.Cache, core.Hybrid, error) {
 	l2 := cache.New(cfg.L2, nil)
 	spec := cfg.Policy
 	switch spec.Kind {
@@ -175,7 +266,7 @@ func buildL2(cfg Config) (*cache.Cache, core.Hybrid) {
 		// Inside the full simulator the duel is driven by real
 		// quantized costs rather than DIP's miss counting — an
 		// "MLP-weighted DIP": expensive misses push the duel harder.
-		return l2, core.NewDIP(l2, spec.leaderSets(), spec.Seed+3)
+		return l2, core.NewDIP(l2, spec.leaderSets(), spec.Seed+3), nil
 	case PolicySBAR:
 		sets := l2.Config().Sets
 		var sel core.LeaderSelector
@@ -189,17 +280,17 @@ func buildL2(cfg Config) (*cache.Cache, core.Hybrid) {
 			PselBits:   spec.PselBits,
 			Lambda:     spec.lambda(),
 			Selector:   sel,
-		})
+		}), nil
 	case PolicyCBSLocal:
 		return l2, core.NewCBS(l2, core.CBSConfig{
 			Scope: core.CBSLocal, PselBits: spec.PselBits, Lambda: spec.lambda(),
-		})
+		}), nil
 	case PolicyCBSGlobal:
 		return l2, core.NewCBS(l2, core.CBSConfig{
 			Scope: core.CBSGlobal, PselBits: spec.PselBits, Lambda: spec.lambda(),
-		})
+		}), nil
 	default:
-		panic(fmt.Sprintf("sim: unknown policy %q", spec.Kind))
+		return nil, nil, simerr.New(simerr.ErrBadConfig, "sim: unknown policy %q", spec.Kind)
 	}
-	return l2, nil
+	return l2, nil, nil
 }

@@ -6,6 +6,7 @@ import (
 	"mlpcache/internal/cache"
 	"mlpcache/internal/core"
 	"mlpcache/internal/dram"
+	"mlpcache/internal/faultinject"
 	"mlpcache/internal/mshr"
 	"mlpcache/internal/prefetch"
 	"mlpcache/internal/stats"
@@ -121,14 +122,19 @@ type memSystem struct {
 	pf         *prefetch.Prefetcher
 	prefetched map[uint64]struct{} // blocks resident via an unused prefetch
 
+	// inj, when non-nil, perturbs DRAM latencies (fault injection). A
+	// nil injector is inert, so the hot path needs no flag check.
+	inj *faultinject.Injector
+
 	// Interval accumulators for the Figure 11 time series.
 	intMisses   uint64
 	intCostQSum uint64
 }
 
-func newMemSystem(cfg Config, l2 *cache.Cache, hybrid core.Hybrid) *memSystem {
+func newMemSystem(cfg Config, l2 *cache.Cache, hybrid core.Hybrid, inj *faultinject.Injector) *memSystem {
 	m := &memSystem{
 		cfg:      cfg,
+		inj:      inj,
 		l1:       cache.New(cfg.L1, cache.NewLRU()),
 		l2:       l2,
 		mshr:     mshr.New(cfg.MSHR),
@@ -144,6 +150,14 @@ func newMemSystem(cfg Config, l2 *cache.Cache, hybrid core.Hybrid) *memSystem {
 		m.prefetched = make(map[uint64]struct{})
 	}
 	return m
+}
+
+// dramRead issues a DRAM read and applies any injected latency jitter to
+// its completion time. Jitter is safe to add after the fact: the fill
+// heap orders completions by time, so a perturbed fill simply completes
+// later.
+func (m *memSystem) dramRead(block uint64, at uint64) uint64 {
+	return m.dram.Read(block, at) + m.inj.Jitter()
 }
 
 // trainPrefetcher observes a demand L2 access and issues any predicted
@@ -164,7 +178,7 @@ func (m *memSystem) trainPrefetcher(block uint64, now uint64) {
 		}
 		m.mshr.Allocate(target, false, now)
 		m.mstats.PrefetchIssued++
-		done := m.dram.Read(target, now)
+		done := m.dramRead(target, now)
 		f := &fill{done: done, addr: addr, prefetch: true}
 		m.inflight[target] = f
 		heap.Push(&m.fills, f)
@@ -232,7 +246,7 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 		m.seen[block] = struct{}{}
 		m.mstats.CompulsoryMisses++
 	}
-	done := m.dram.Read(block, now+m.cfg.L1Lat+m.cfg.L2Lat)
+	done := m.dramRead(block, now+m.cfg.L1Lat+m.cfg.L2Lat)
 	f := &fill{done: done, addr: addr, write: write}
 	m.inflight[block] = f
 	heap.Push(&m.fills, f)
@@ -242,19 +256,26 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 
 // Tick advances the memory side by one cycle: the MSHR cost calculation
 // logic runs (Algorithm 1), then any DRAM fills due this cycle install
-// into the hierarchy.
-func (m *memSystem) Tick(now uint64) {
+// into the hierarchy. A non-nil error reports an MSHR protocol violation
+// (simerr.ErrMSHRLeak) and aborts the run.
+func (m *memSystem) Tick(now uint64) error {
 	m.mshr.Tick(now)
 	for len(m.fills) > 0 && m.fills.Peek().done <= now {
 		f := heap.Pop(&m.fills).(*fill)
-		m.service(f, now)
+		if err := m.service(f, now); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func (m *memSystem) service(f *fill, now uint64) {
+func (m *memSystem) service(f *fill, now uint64) error {
 	block := m.l2.BlockOf(f.addr)
 	delete(m.inflight, block)
-	cost := m.mshr.Free(block, now)
+	cost, err := m.mshr.Free(block, now)
+	if err != nil {
+		return err
+	}
 
 	if f.prefetch {
 		// A pure prefetch fill: no demand miss to account, no cost.
@@ -269,7 +290,7 @@ func (m *memSystem) service(f *fill, now uint64) {
 			}
 		}
 		m.prefetched[block] = struct{}{}
-		return
+		return nil
 	}
 
 	m.costHist.Add(cost)
@@ -308,6 +329,7 @@ func (m *memSystem) service(f *fill, now uint64) {
 		m.hybrid.OnFill(f.addr, costQ)
 	}
 	m.fillL1(f.addr, f.write)
+	return nil
 }
 
 // fillL1 installs the block into the L1, sinking any dirty victim into

@@ -31,7 +31,7 @@ func TestPrefetcherHelpsChainedWalk(t *testing.T) {
 			p := prefetch.DefaultConfig()
 			cfg.Prefetch = &p
 		}
-		return Run(cfg, chainedWalk(3000))
+		return MustRun(cfg, chainedWalk(3000))
 	}
 	off, on := mk(false), mk(true)
 	if on.Mem.PrefetchIssued == 0 {
@@ -72,7 +72,7 @@ func TestPrefetcherUselessOnPointerChase(t *testing.T) {
 			cfg.Prefetch = &p
 		}
 		src := trace.NewPointerChase(trace.ChaseConfig{Blocks: 40_000, Gap: 10, Seed: 4})
-		return Run(cfg, src)
+		return MustRun(cfg, src)
 	}
 	off, on := mk(false), mk(true)
 	diff := int64(on.Mem.DemandMisses) - int64(off.Mem.DemandMisses)
@@ -91,7 +91,7 @@ func TestPrefetchCostAccountingStaysClean(t *testing.T) {
 	cfg := smallConfig(150_000)
 	p := prefetch.DefaultConfig()
 	cfg.Prefetch = &p
-	res := Run(cfg, microMix(5))
+	res := MustRun(cfg, microMix(5))
 	if res.CostHist.Total() != res.Mem.DemandMisses {
 		t.Fatalf("histogram %d samples vs %d demand misses",
 			res.CostHist.Total(), res.Mem.DemandMisses)
@@ -104,7 +104,7 @@ func TestPrefetchFastForwardEquivalence(t *testing.T) {
 		p := prefetch.DefaultConfig()
 		cfg.Prefetch = &p
 		cfg.DisableFastForward = disable
-		return Run(cfg, microMix(3))
+		return MustRun(cfg, microMix(3))
 	}
 	fast, ref := mk(false), mk(true)
 	if fast.Cycles != ref.Cycles || fast.Mem.DemandMisses != ref.Mem.DemandMisses {

@@ -3,11 +3,14 @@ package sim
 import (
 	"fmt"
 
+	"mlpcache/internal/audit"
 	"mlpcache/internal/bpred"
 	"mlpcache/internal/cache"
 	"mlpcache/internal/core"
 	"mlpcache/internal/cpu"
 	"mlpcache/internal/dram"
+	"mlpcache/internal/faultinject"
+	"mlpcache/internal/simerr"
 	"mlpcache/internal/stats"
 	"mlpcache/internal/trace"
 )
@@ -53,6 +56,10 @@ type Result struct {
 	Hybrid *core.HybridStats
 	// Series is non-nil when Config.SampleInterval was set.
 	Series *SeriesSet
+	// Audit is non-nil when Config.Audit was set: the invariant
+	// auditor's report. A run with violations also returns a wrapped
+	// simerr.ErrInvariant.
+	Audit *audit.Report
 }
 
 // MissesServiced returns the number of primary L2 demand misses.
@@ -104,9 +111,43 @@ func (r Result) MissDeltaPercent(baseline Result) float64 {
 		float64(baseline.Mem.DemandMisses)
 }
 
+// MustRun is Run for known-good configurations and sources: it panics on
+// any error. Tests, benchmarks and the experiment registry — whose
+// inputs are all compiled in — use it to keep call sites terse.
+func MustRun(cfg Config, src trace.Source) Result {
+	res, err := Run(cfg, src)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 // Run executes the instruction source on the configured machine until
 // MaxInstructions retire, the source drains, or the cycle guard trips.
-func Run(cfg Config, src trace.Source) Result {
+//
+// Errors are typed (see the simerr package): an invalid configuration
+// returns a wrapped simerr.ErrBadConfig before anything is built, a
+// source whose Err method reports a decode failure yields that error
+// (wrapped simerr.ErrCorruptTrace for the trace reader), an MSHR
+// protocol violation yields simerr.ErrMSHRLeak, and audit violations
+// yield simerr.ErrInvariant alongside the partial Result. Any panic
+// escaping the machine's internals is converted to a wrapped
+// simerr.ErrInternal rather than unwinding into the caller.
+func Run(cfg Config, src trace.Source) (res Result, err error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{}
+			if e, ok := r.(error); ok {
+				err = simerr.Wrap(simerr.ErrInternal, e, "sim: panic during run")
+			} else {
+				err = simerr.New(simerr.ErrInternal, "sim: panic during run: %v", r)
+			}
+		}
+	}()
+	orig := src
 	if cfg.MaxInstructions > 0 {
 		src = trace.NewLimit(src, int(cfg.MaxInstructions))
 	}
@@ -121,9 +162,20 @@ func Run(cfg Config, src trace.Source) Result {
 		}
 	}
 
-	l2, hybrid := buildL2(cfg)
-	mem := newMemSystem(cfg, l2, hybrid)
+	l2, hybrid, err := buildL2(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var inj *faultinject.Injector
+	if cfg.Faults != nil && cfg.Faults.Active() {
+		inj = faultinject.NewInjector(*cfg.Faults)
+	}
+	mem := newMemSystem(cfg, l2, hybrid, inj)
 	c := cpu.New(cfg.CPU, mem, src)
+	var auditor *audit.Auditor
+	if cfg.Audit {
+		auditor = buildAuditor(cfg, mem, hybrid)
+	}
 
 	var ser *SeriesSet
 	if cfg.SampleInterval > 0 {
@@ -143,8 +195,18 @@ func Run(cfg Config, src trace.Source) Result {
 		nextEpoch   = cfg.EpochInstructions
 	)
 	for now = 1; now <= maxCycles; now++ {
-		mem.Tick(now)
+		if err := mem.Tick(now); err != nil {
+			return Result{}, err
+		}
 		retired += uint64(c.Cycle(now))
+		if capacity, due := inj.ThrottleDue(retired); due {
+			if err := mem.mshr.SetCapacity(capacity); err != nil {
+				return Result{}, err
+			}
+		}
+		if auditor != nil {
+			auditor.MaybeCheck(now)
+		}
 
 		if ser != nil && retired >= nextSample {
 			misses, costQSum := mem.takeInterval()
@@ -194,7 +256,7 @@ func Run(cfg Config, src trace.Source) Result {
 		}
 	}
 
-	res := Result{
+	res = Result{
 		Policy:       cfg.Policy.String(),
 		Instructions: retired,
 		Cycles:       now,
@@ -215,7 +277,19 @@ func Run(cfg Config, src trace.Source) Result {
 		hs := statsOf(hybrid)
 		res.Hybrid = &hs
 	}
-	return res
+	if s, ok := orig.(interface{ Err() error }); ok {
+		if err := s.Err(); err != nil {
+			return res, err
+		}
+	}
+	if auditor != nil {
+		auditor.CheckNow(now)
+		res.Audit = auditor.Report()
+		if err := res.Audit.Err(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
 func statsOf(h core.Hybrid) core.HybridStats {

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 
 	"mlpcache/internal/bpred"
+	"mlpcache/internal/simerr"
 	"mlpcache/internal/trace"
 )
 
@@ -37,7 +39,7 @@ func smallConfig(n uint64) Config {
 
 func TestRunBasicSanity(t *testing.T) {
 	cfg := smallConfig(200_000)
-	res := Run(cfg, microMix(1))
+	res := MustRun(cfg, microMix(1))
 	if res.Instructions != 200_000 {
 		t.Fatalf("retired %d, want 200000", res.Instructions)
 	}
@@ -60,8 +62,8 @@ func TestRunBasicSanity(t *testing.T) {
 }
 
 func TestRunDeterminism(t *testing.T) {
-	a := Run(smallConfig(150_000), microMix(7))
-	b := Run(smallConfig(150_000), microMix(7))
+	a := MustRun(smallConfig(150_000), microMix(7))
+	b := MustRun(smallConfig(150_000), microMix(7))
 	if a.Cycles != b.Cycles || a.Mem.DemandMisses != b.Mem.DemandMisses || a.IPC != b.IPC {
 		t.Fatalf("nondeterministic: %+v vs %+v", a.Summary(), b.Summary())
 	}
@@ -71,10 +73,10 @@ func TestRunDeterminism(t *testing.T) {
 // miss counts, and cost histograms with and without it.
 func TestFastForwardEquivalence(t *testing.T) {
 	base := smallConfig(120_000)
-	fast := Run(base, microMix(3))
+	fast := MustRun(base, microMix(3))
 	slow := base
 	slow.DisableFastForward = true
-	ref := Run(slow, microMix(3))
+	ref := MustRun(slow, microMix(3))
 	if fast.Cycles != ref.Cycles {
 		t.Fatalf("cycles differ: fast %d vs exact %d", fast.Cycles, ref.Cycles)
 	}
@@ -101,7 +103,7 @@ func TestIsolatedMissesLandInTopBin(t *testing.T) {
 	// is isolated, so the 420+ bin must dominate.
 	cfg := smallConfig(150_000)
 	src := trace.NewPointerChase(trace.ChaseConfig{Blocks: 40_000, Gap: 8, Seed: 5})
-	res := Run(cfg, src)
+	res := MustRun(cfg, src)
 	pct := res.CostHist.Percent()
 	if pct[7] < 90 {
 		t.Fatalf("isolated chase: only %.1f%% of misses in the 420+ bin", pct[7])
@@ -114,7 +116,7 @@ func TestIsolatedMissesLandInTopBin(t *testing.T) {
 func TestParallelMissesAreCheap(t *testing.T) {
 	cfg := smallConfig(150_000)
 	src := trace.NewStream(trace.StreamConfig{Blocks: 40_000, Gap: 6, Seed: 5})
-	res := Run(cfg, src)
+	res := MustRun(cfg, src)
 	if avg := res.AvgMLPCost(); avg > 120 {
 		t.Fatalf("streaming misses average %v cycles, want well under 120", avg)
 	}
@@ -130,7 +132,7 @@ func TestKParallelChasesCostLatencyOverK(t *testing.T) {
 			Weight: 1, Chunk: 1,
 		})
 	}
-	res := Run(smallConfig(150_000), trace.NewMix(9, inner...))
+	res := MustRun(smallConfig(150_000), trace.NewMix(9, inner...))
 	pct := res.CostHist.Percent()
 	if pct[3] < 50 { // 180-239 bin
 		t.Fatalf("k=2 chase: only %.1f%% of misses in the 180-239 bin (hist %v)", pct[3], pct)
@@ -145,7 +147,7 @@ func TestPolicies(t *testing.T) {
 	} {
 		cfg := smallConfig(60_000)
 		cfg.Policy = PolicySpec{Kind: kind}
-		res := Run(cfg, microMix(2))
+		res := MustRun(cfg, microMix(2))
 		if res.Instructions != 60_000 {
 			t.Fatalf("%s: retired %d", kind, res.Instructions)
 		}
@@ -157,21 +159,19 @@ func TestPolicies(t *testing.T) {
 	}
 }
 
-func TestUnknownPolicyPanics(t *testing.T) {
+func TestUnknownPolicyReturnsTypedError(t *testing.T) {
 	cfg := smallConfig(1000)
 	cfg.Policy = PolicySpec{Kind: "belady"}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Run(cfg, microMix(1))
+	_, err := Run(cfg, microMix(1))
+	if !errors.Is(err, simerr.ErrBadConfig) {
+		t.Fatalf("unknown policy: err = %v, want ErrBadConfig", err)
+	}
 }
 
 func TestSeriesSampling(t *testing.T) {
 	cfg := smallConfig(100_000)
 	cfg.SampleInterval = 10_000
-	res := Run(cfg, microMix(4))
+	res := MustRun(cfg, microMix(4))
 	if res.Series == nil {
 		t.Fatal("no series")
 	}
@@ -205,10 +205,10 @@ func TestLINPlumbingChangesBehaviour(t *testing.T) {
 			},
 		)
 	}
-	lru := Run(smallConfig(400_000), mix(6))
+	lru := MustRun(smallConfig(400_000), mix(6))
 	cfg := smallConfig(400_000)
 	cfg.Policy = PolicySpec{Kind: PolicyLIN, Lambda: 4}
-	lin := Run(cfg, mix(6))
+	lin := MustRun(cfg, mix(6))
 	if lin.IPC <= lru.IPC {
 		t.Fatalf("LIN (%.4f) should beat LRU (%.4f) on a retainable chase mix",
 			lin.IPC, lru.IPC)
@@ -227,7 +227,7 @@ func TestMergedMissesCounted(t *testing.T) {
 		{Kind: trace.Load, Addr: 8},
 	}
 	cfg := DefaultConfig()
-	res := Run(cfg, trace.NewSliceSource(ins))
+	res := MustRun(cfg, trace.NewSliceSource(ins))
 	if res.Mem.DemandMisses != 1 || res.Mem.MergedMisses != 1 {
 		t.Fatalf("misses=%d merged=%d, want 1/1", res.Mem.DemandMisses, res.Mem.MergedMisses)
 	}
@@ -236,7 +236,7 @@ func TestMergedMissesCounted(t *testing.T) {
 func TestDeltaTracking(t *testing.T) {
 	// Deltas need blocks that miss more than once: a thrashing loop.
 	cfg := smallConfig(300_000)
-	res := Run(cfg, trace.NewStream(trace.StreamConfig{Blocks: 20_000, Gap: 4, Seed: 8}))
+	res := MustRun(cfg, trace.NewStream(trace.StreamConfig{Blocks: 20_000, Gap: 4, Seed: 8}))
 	if res.Delta.Samples() == 0 {
 		t.Fatal("no delta samples despite block re-misses")
 	}
@@ -250,7 +250,7 @@ func TestWritebacksReachDRAM(t *testing.T) {
 	// Store-heavy thrash: dirty L2 evictions must generate DRAM writes.
 	src := trace.NewStream(trace.StreamConfig{Blocks: 40_000, Gap: 4, Stores: 1.0, Seed: 3})
 	cfg := smallConfig(150_000)
-	res := Run(cfg, src)
+	res := MustRun(cfg, src)
 	if res.DRAM.Writes == 0 {
 		t.Fatal("no writebacks reached DRAM")
 	}
@@ -260,7 +260,7 @@ func TestMissHook(t *testing.T) {
 	var hooked uint64
 	cfg := smallConfig(50_000)
 	cfg.MissHook = func(addr uint64, costQ uint8) { hooked++ }
-	res := Run(cfg, microMix(9))
+	res := MustRun(cfg, microMix(9))
 	if hooked != res.Mem.DemandMisses {
 		t.Fatalf("hook saw %d misses, result says %d", hooked, res.Mem.DemandMisses)
 	}
@@ -270,11 +270,11 @@ func TestCAREPolicies(t *testing.T) {
 	// BCL and DCL plug in as L2 policies; on the LIN-friendly mix they
 	// must at least not catastrophically regress against LRU, and on a
 	// dead-pollution mix DCL must track LRU much more closely than LIN.
-	base := Run(smallConfig(150_000), microMix(11))
+	base := MustRun(smallConfig(150_000), microMix(11))
 	for _, kind := range []PolicyKind{PolicyBCL, PolicyDCL} {
 		cfg := smallConfig(150_000)
 		cfg.Policy = PolicySpec{Kind: kind}
-		res := Run(cfg, microMix(11))
+		res := MustRun(cfg, microMix(11))
 		if res.IPC < base.IPC*0.8 {
 			t.Errorf("%s IPC %.4f collapsed vs LRU %.4f", kind, res.IPC, base.IPC)
 		}
@@ -290,7 +290,7 @@ func TestLiveBranchPredictorMode(t *testing.T) {
 		bp := bpredDefault()
 		cfg.CPU.BranchPredictor = &bp
 		cfg.DisableFastForward = disableFF
-		return Run(cfg, microMix(13))
+		return MustRun(cfg, microMix(13))
 	}
 	fast, ref := mk(false), mk(true)
 	if fast.Bpred.Lookups == 0 {
@@ -306,14 +306,14 @@ func TestLiveBranchPredictorMode(t *testing.T) {
 	}
 	// The oracle-mode run (no mispredicts in these workloads) must be
 	// at least as fast.
-	oracle := Run(smallConfig(150_000), microMix(13))
+	oracle := MustRun(smallConfig(150_000), microMix(13))
 	if oracle.IPC < fast.IPC {
 		t.Fatalf("oracle IPC %.4f below live-predictor IPC %.4f", oracle.IPC, fast.IPC)
 	}
 }
 
 func TestResultAccessors(t *testing.T) {
-	res := Run(smallConfig(60_000), microMix(15))
+	res := MustRun(smallConfig(60_000), microMix(15))
 	if res.MissesServiced() != res.Mem.DemandMisses {
 		t.Fatal("MissesServiced mismatch")
 	}
@@ -340,7 +340,7 @@ func TestL1WritebackDropPath(t *testing.T) {
 	src := trace.NewStream(trace.StreamConfig{Blocks: 60_000, Gap: 2, Stores: 1.0, Seed: 9})
 	cfg := smallConfig(250_000)
 	cfg.L2.SizeBytes = 8 * 1024
-	res := Run(cfg, src)
+	res := MustRun(cfg, src)
 	if res.Mem.L1WritebackDrops == 0 {
 		t.Fatal("expected dropped L1 writebacks under heavy store thrash")
 	}
@@ -352,7 +352,7 @@ func TestHybridInterfaceConformance(t *testing.T) {
 	for _, kind := range []PolicyKind{PolicySBAR, PolicyCBSLocal, PolicyCBSGlobal, PolicyDIP} {
 		cfg := smallConfig(30_000)
 		cfg.Policy = PolicySpec{Kind: kind}
-		if res := Run(cfg, microMix(16)); res.Hybrid == nil {
+		if res := MustRun(cfg, microMix(16)); res.Hybrid == nil {
 			t.Fatalf("%s: no hybrid stats", kind)
 		}
 	}
@@ -364,7 +364,7 @@ func TestMispredictStatMatchesPredictor(t *testing.T) {
 	cfg := smallConfig(150_000)
 	bp := bpredDefault()
 	cfg.CPU.BranchPredictor = &bp
-	res := Run(cfg, microMix(17))
+	res := MustRun(cfg, microMix(17))
 	if res.CPU.Mispredicts == 0 {
 		t.Fatal("live predictor produced no retired mispredicts")
 	}

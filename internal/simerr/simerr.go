@@ -1,0 +1,67 @@
+// Package simerr defines the simulator's error taxonomy: a small set of
+// sentinel errors every internal package wraps its failures in, so
+// callers — sim.Run, the CLIs, the experiment harness — can classify a
+// failure with errors.Is without parsing message strings.
+//
+// Conventions (see docs/ROBUSTNESS.md):
+//
+//   - Functions that consume external input (configs, trace files, CLI
+//     flags) return wrapped errors; nothing that can be triggered from
+//     outside the process panics.
+//   - Constructors whose misuse is a programmer error (negative
+//     associativity passed by code, not by a config file) panic, but
+//     panic with a typed error value built by New, so a recover()
+//     boundary can still classify it.
+//   - sim.Run installs such a boundary: any internal panic surfaces as a
+//     wrapped ErrInternal instead of escaping the public API.
+package simerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Wrapped errors match these under errors.Is.
+var (
+	// ErrBadConfig marks an invalid configuration: bad geometry, an
+	// unknown policy kind, out-of-range counter widths.
+	ErrBadConfig = errors.New("invalid configuration")
+
+	// ErrCorruptTrace marks undecodable or truncated trace input.
+	ErrCorruptTrace = errors.New("corrupt trace")
+
+	// ErrMSHRLeak marks an MSHR protocol violation: freeing a block
+	// that holds no entry (a double free or a free-without-allocate).
+	ErrMSHRLeak = errors.New("mshr protocol violation")
+
+	// ErrInvariant marks a machine-checked invariant violation found by
+	// the audit package (internal/audit).
+	ErrInvariant = errors.New("invariant violation")
+
+	// ErrUnknownBenchmark marks a benchmark name absent from the
+	// workload registry.
+	ErrUnknownBenchmark = errors.New("unknown benchmark")
+
+	// ErrInternal marks a provable simulator bug caught at a recover()
+	// boundary — the typed form of "this should never happen".
+	ErrInternal = errors.New("internal simulator error")
+)
+
+// New builds an error wrapping the given sentinel:
+//
+//	simerr.New(simerr.ErrBadConfig, "cache: %d ways", n)
+//
+// renders as "cache: 8 ways: invalid configuration" and matches
+// errors.Is(err, simerr.ErrBadConfig).
+func New(sentinel error, format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), sentinel)
+}
+
+// Wrap chains an underlying cause onto a sentinel with context:
+//
+//	simerr.Wrap(simerr.ErrCorruptTrace, err, "reading dep")
+//
+// The result matches both the sentinel and the cause under errors.Is.
+func Wrap(sentinel, cause error, context string) error {
+	return fmt.Errorf("%s: %w: %w", context, sentinel, cause)
+}

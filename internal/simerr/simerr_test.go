@@ -1,0 +1,45 @@
+package simerr
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestNewMatchesSentinel(t *testing.T) {
+	err := New(ErrBadConfig, "cache: %d ways", -1)
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("New result does not match its sentinel: %v", err)
+	}
+	if errors.Is(err, ErrCorruptTrace) {
+		t.Fatalf("New result matches a foreign sentinel: %v", err)
+	}
+	want := "cache: -1 ways: invalid configuration"
+	if err.Error() != want {
+		t.Fatalf("message = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestWrapMatchesSentinelAndCause(t *testing.T) {
+	err := Wrap(ErrCorruptTrace, io.ErrUnexpectedEOF, "reading dep")
+	if !errors.Is(err, ErrCorruptTrace) {
+		t.Fatalf("Wrap result does not match its sentinel: %v", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("Wrap result does not match its cause: %v", err)
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	sentinels := []error{
+		ErrBadConfig, ErrCorruptTrace, ErrMSHRLeak,
+		ErrInvariant, ErrUnknownBenchmark, ErrInternal,
+	}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Fatalf("sentinels %d and %d alias: %v / %v", i, j, a, b)
+			}
+		}
+	}
+}

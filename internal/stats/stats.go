@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"mlpcache/internal/simerr"
 )
 
 // Histogram counts samples into bins of fixed width; the last bin is an
@@ -26,7 +28,8 @@ type Histogram struct {
 // parameters.
 func NewHistogram(width float64, bins int) *Histogram {
 	if width <= 0 || bins <= 0 {
-		panic("stats: histogram needs positive width and bins")
+		panic(simerr.New(simerr.ErrBadConfig,
+			"stats: histogram needs positive width and bins, got width=%v bins=%d", width, bins))
 	}
 	return &Histogram{width: width, counts: make([]uint64, bins)}
 }

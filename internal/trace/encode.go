@@ -3,9 +3,9 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
-	"fmt"
 	"io"
+
+	"mlpcache/internal/simerr"
 )
 
 // Binary trace format, used by cmd/mlptrace to persist generated streams:
@@ -23,8 +23,9 @@ import (
 var magic = []byte("MLPT\x01")
 
 // ErrBadMagic is returned by NewReader when the input does not start with
-// the trace file magic.
-var ErrBadMagic = errors.New("trace: bad magic (not a trace file)")
+// the trace file magic. It wraps simerr.ErrCorruptTrace so callers can
+// classify it with either sentinel.
+var ErrBadMagic = simerr.New(simerr.ErrCorruptTrace, "trace: bad magic (not a trace file)")
 
 const (
 	flagKindMask   = 0x07
@@ -107,7 +108,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	hdr := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		return nil, simerr.Wrap(simerr.ErrCorruptTrace, err, "trace: reading header")
 	}
 	for i := range magic {
 		if hdr[i] != magic[i] {
@@ -126,14 +127,14 @@ func (tr *Reader) Next() (Instr, bool) {
 	flags, err := tr.r.ReadByte()
 	if err != nil {
 		if err != io.EOF {
-			tr.err = err
+			tr.err = simerr.Wrap(simerr.ErrCorruptTrace, err, "trace: reading flags")
 		}
 		return Instr{}, false
 	}
 	var in Instr
 	in.Kind = Kind(flags & flagKindMask)
 	if in.Kind >= numKinds {
-		tr.err = fmt.Errorf("trace: invalid kind %d", in.Kind)
+		tr.err = simerr.New(simerr.ErrCorruptTrace, "trace: invalid kind %d", in.Kind)
 		return Instr{}, false
 	}
 	in.Mispredict = flags&flagMispredict != 0
@@ -141,11 +142,11 @@ func (tr *Reader) Next() (Instr, bool) {
 	if flags&flagHasDep != 0 {
 		d, err := binary.ReadUvarint(tr.r)
 		if err != nil {
-			tr.err = fmt.Errorf("trace: reading dep: %w", err)
+			tr.err = simerr.Wrap(simerr.ErrCorruptTrace, err, "trace: reading dep")
 			return Instr{}, false
 		}
 		if d > 1<<31-1 {
-			tr.err = fmt.Errorf("trace: dep %d out of range", d)
+			tr.err = simerr.New(simerr.ErrCorruptTrace, "trace: dep %d out of range", d)
 			return Instr{}, false
 		}
 		in.Dep = int32(d)
@@ -153,7 +154,7 @@ func (tr *Reader) Next() (Instr, bool) {
 	if flags&flagHasAddr != 0 {
 		delta, err := binary.ReadVarint(tr.r)
 		if err != nil {
-			tr.err = fmt.Errorf("trace: reading addr: %w", err)
+			tr.err = simerr.Wrap(simerr.ErrCorruptTrace, err, "trace: reading addr")
 			return Instr{}, false
 		}
 		in.Addr = uint64(int64(tr.prevAddr) + delta)

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"mlpcache/internal/simerr"
+)
+
+// FuzzTraceDecode feeds arbitrary bytes to the trace reader. The decoder
+// must never panic and never loop forever: it either yields instructions
+// with in-range fields or stops with a wrapped simerr.ErrCorruptTrace
+// (header failures may also surface io errors, still wrapped).
+func FuzzTraceDecode(f *testing.F) {
+	// Seed corpus: a valid little trace, the bare header, a truncated
+	// header, a corrupt magic, and records with pathological varints.
+	var valid bytes.Buffer
+	w := NewWriter(&valid)
+	for _, in := range []Instr{
+		{Kind: Int},
+		{Kind: Load, Addr: 0x1000, Dep: 3},
+		{Kind: Store, Addr: 0xffff_ffff_0000, Dep: 1},
+		{Kind: Branch, Mispredict: true, Taken: true},
+	} {
+		if err := w.Write(in); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("MLPT\x01"))
+	f.Add([]byte("MLPT"))
+	f.Add([]byte("XLPT\x01junk"))
+	f.Add(append([]byte("MLPT\x01"), 0x17, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	f.Add(append([]byte("MLPT\x01"), 0x07)) // invalid kind 7
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, simerr.ErrCorruptTrace) &&
+				!errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+				t.Fatalf("reader error not typed: %v", err)
+			}
+			return
+		}
+		// The stream is finite, so decoding must terminate well within
+		// one instruction per input byte plus slack.
+		limit := len(data) + 8
+		n := 0
+		for {
+			in, ok := r.Next()
+			if !ok {
+				break
+			}
+			if n++; n > limit {
+				t.Fatalf("decoded %d instructions from %d bytes", n, len(data))
+			}
+			if in.Kind >= numKinds {
+				t.Fatalf("decoded out-of-range kind %d", in.Kind)
+			}
+			if in.Dep < 0 {
+				t.Fatalf("decoded negative dep %d", in.Dep)
+			}
+		}
+		if err := r.Err(); err != nil && !errors.Is(err, simerr.ErrCorruptTrace) {
+			t.Fatalf("decode error not typed: %v", err)
+		}
+	})
+}
+
+// FuzzTraceRoundTrip encodes a canonicalized instruction pair and checks
+// the decode reproduces it exactly.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(uint8(4), uint64(0x1000), int32(3), true, false, uint8(5), uint64(0x2000), int32(0), false, true)
+	f.Add(uint8(0), uint64(0), int32(0), false, false, uint8(6), uint64(1<<40), int32(9), true, true)
+	f.Add(uint8(5), ^uint64(0), int32(1<<30), false, false, uint8(4), uint64(1), int32(1), false, false)
+
+	f.Fuzz(func(t *testing.T, k1 uint8, a1 uint64, d1 int32, m1, t1 bool,
+		k2 uint8, a2 uint64, d2 int32, m2, t2 bool) {
+		canon := func(k uint8, addr uint64, dep int32, mis, taken bool) Instr {
+			in := Instr{Kind: Kind(k % uint8(numKinds)), Mispredict: mis, Taken: taken}
+			if dep > 0 {
+				in.Dep = dep
+			}
+			// The format carries addresses only for memory ops and
+			// taken-address branches; others decode as zero.
+			if in.Kind.IsMem() {
+				in.Addr = addr
+			} else if in.Kind == Branch {
+				in.Addr = addr
+			}
+			return in
+		}
+		ins := []Instr{
+			canon(k1, a1, d1, m1, t1),
+			canon(k2, a2, d2, m2, t2),
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, in := range ins {
+			if err := w.Write(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reading back own encoding: %v", err)
+		}
+		for i, want := range ins {
+			got, ok := r.Next()
+			if !ok {
+				t.Fatalf("record %d missing: %v", i, r.Err())
+			}
+			// A branch with Addr 0 encodes without an address; the
+			// previous record's delta base makes that decode to the
+			// prior address only if flagged, so zero stays zero.
+			if got != want {
+				t.Fatalf("record %d: got %+v want %+v", i, got, want)
+			}
+		}
+		if _, ok := r.Next(); ok {
+			t.Fatal("decoded phantom record")
+		}
+		if err := r.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

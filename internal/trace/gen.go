@@ -1,5 +1,7 @@
 package trace
 
+import "mlpcache/internal/simerr"
+
 // This file implements the workload generator combinators. Each generator
 // produces an unbounded instruction stream; internal/workload composes them
 // into models of the paper's SPEC CPU2000 benchmarks.
@@ -102,6 +104,21 @@ type ChaseConfig struct {
 	Seed    uint64
 }
 
+// Validate checks the parameters, wrapping failures in
+// simerr.ErrBadConfig.
+func (c ChaseConfig) Validate() error {
+	if c.Blocks <= 0 && !c.Cold {
+		return simerr.New(simerr.ErrBadConfig, "trace: PointerChase needs at least one block, got %d", c.Blocks)
+	}
+	if c.Gap < 0 || c.Touches < 0 || c.RunLen < 0 || c.SkipLen < 0 {
+		return simerr.New(simerr.ErrBadConfig, "trace: PointerChase counts must be non-negative")
+	}
+	if c.Stores < 0 || c.Stores > 1 || c.FPFrac < 0 || c.FPFrac > 1 || c.Mispredict < 0 || c.Mispredict > 1 {
+		return simerr.New(simerr.ErrBadConfig, "trace: PointerChase probabilities must be in [0,1]")
+	}
+	return nil
+}
+
 type chase struct {
 	queued
 	cfg   ChaseConfig
@@ -113,9 +130,14 @@ type chase struct {
 // NewPointerChase returns a generator that walks a randomized ring of
 // cfg.Blocks blocks. Each load's Dep points at the previous load in the
 // chain (distance Gap+1), modelling a linked-list traversal.
+// It panics (with a typed simerr.ErrBadConfig error) on invalid
+// parameters; validate externally-sourced configs with Validate first.
 func NewPointerChase(cfg ChaseConfig) Source {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	if cfg.Blocks <= 0 {
-		panic("trace: PointerChase needs at least one block")
+		cfg.Blocks = 1 // Cold walks ignore the ring size
 	}
 	if cfg.BlockBytes == 0 {
 		cfg.BlockBytes = 64
@@ -176,6 +198,21 @@ type StreamConfig struct {
 	Seed uint64
 }
 
+// Validate checks the parameters, wrapping failures in
+// simerr.ErrBadConfig.
+func (c StreamConfig) Validate() error {
+	if c.Blocks <= 0 && !c.Cold {
+		return simerr.New(simerr.ErrBadConfig, "trace: Stream needs at least one block, got %d", c.Blocks)
+	}
+	if c.Gap < 0 || c.Touches < 0 {
+		return simerr.New(simerr.ErrBadConfig, "trace: Stream counts must be non-negative")
+	}
+	if c.Stores < 0 || c.Stores > 1 || c.FPFrac < 0 || c.FPFrac > 1 || c.Mispredict < 0 || c.Mispredict > 1 {
+		return simerr.New(simerr.ErrBadConfig, "trace: Stream probabilities must be in [0,1]")
+	}
+	return nil
+}
+
 type stream struct {
 	queued
 	cfg   StreamConfig
@@ -188,9 +225,14 @@ type stream struct {
 // NewStream returns a generator that sweeps a region of cfg.Blocks blocks
 // with independent loads, wrapping around for ever. With RandomOrder the
 // sweep order is re-randomized each lap.
+// It panics (with a typed simerr.ErrBadConfig error) on invalid
+// parameters; validate externally-sourced configs with Validate first.
 func NewStream(cfg StreamConfig) Source {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	if cfg.Blocks <= 0 {
-		panic("trace: Stream needs at least one block")
+		cfg.Blocks = 1 // Cold sweeps ignore the wrap size
 	}
 	if cfg.BlockBytes == 0 {
 		cfg.BlockBytes = 64
@@ -253,6 +295,21 @@ type AlternatingConfig struct {
 	Seed    uint64
 }
 
+// Validate checks the parameters, wrapping failures in
+// simerr.ErrBadConfig.
+func (c AlternatingConfig) Validate() error {
+	if c.Blocks <= 0 {
+		return simerr.New(simerr.ErrBadConfig, "trace: Alternating needs at least one block, got %d", c.Blocks)
+	}
+	if c.ChaseGap < 0 || c.BurstGap < 0 || c.Touches < 0 || c.RunLen < 0 || c.SkipLen < 0 {
+		return simerr.New(simerr.ErrBadConfig, "trace: Alternating counts must be non-negative")
+	}
+	if c.FPFrac < 0 || c.FPFrac > 1 || c.Mispredict < 0 || c.Mispredict > 1 {
+		return simerr.New(simerr.ErrBadConfig, "trace: Alternating probabilities must be in [0,1]")
+	}
+	return nil
+}
+
 type alternating struct {
 	queued
 	cfg   AlternatingConfig
@@ -263,9 +320,11 @@ type alternating struct {
 }
 
 // NewAlternating returns the high-delta generator described above.
+// It panics (with a typed simerr.ErrBadConfig error) on invalid
+// parameters; validate externally-sourced configs with Validate first.
 func NewAlternating(cfg AlternatingConfig) Source {
-	if cfg.Blocks <= 0 {
-		panic("trace: Alternating needs at least one block")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.BlockBytes == 0 {
 		cfg.BlockBytes = 64
@@ -369,7 +428,7 @@ type mix struct {
 // preserved across the interleave.
 func NewMix(seed uint64, parts ...MixPart) Source {
 	if len(parts) == 0 {
-		panic("trace: Mix needs at least one part")
+		panic(simerr.New(simerr.ErrBadConfig, "trace: Mix needs at least one part"))
 	}
 	m := &mix{rng: NewRNG(seed), meta: parts}
 	m.parts = make([]part, len(parts))
@@ -460,12 +519,12 @@ type phases struct {
 // LRU-friendly program phases.
 func NewPhases(ps ...Phase) Source {
 	if len(ps) == 0 {
-		panic("trace: Phases needs at least one phase")
+		panic(simerr.New(simerr.ErrBadConfig, "trace: Phases needs at least one phase"))
 	}
 	g := &phases{}
 	for _, p := range ps {
 		if p.Len <= 0 {
-			panic("trace: Phase.Len must be positive")
+			panic(simerr.New(simerr.ErrBadConfig, "trace: Phase.Len must be positive, got %d", p.Len))
 		}
 		g.parts = append(g.parts, part{src: p.Src})
 		g.lens = append(g.lens, p.Len)

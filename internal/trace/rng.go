@@ -1,5 +1,7 @@
 package trace
 
+import "mlpcache/internal/simerr"
+
 // RNG is a small, fast, deterministic pseudo-random generator
 // (splitmix64). Every workload generator owns one so that traces are
 // reproducible from a single seed, independent of the standard library's
@@ -25,7 +27,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic("trace: Intn with non-positive n")
+		panic(simerr.New(simerr.ErrBadConfig, "trace: Intn with non-positive n"))
 	}
 	return int(r.Uint64() % uint64(n))
 }

@@ -13,7 +13,10 @@
 //	cfg.MaxInstructions = 2_000_000
 //	cfg.Policy = mlpcache.PolicySpec{Kind: mlpcache.PolicySBAR}
 //	bench, _ := mlpcache.Benchmark("mcf")
-//	res := mlpcache.Run(cfg, bench.Build(42))
+//	res, err := mlpcache.Run(cfg, bench.Build(42))
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println(res.Summary())
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
@@ -22,11 +25,14 @@ package mlpcache
 
 import (
 	"mlpcache/internal/analytic"
+	"mlpcache/internal/audit"
 	"mlpcache/internal/bpred"
 	"mlpcache/internal/cache"
 	"mlpcache/internal/core"
+	"mlpcache/internal/faultinject"
 	"mlpcache/internal/prefetch"
 	"mlpcache/internal/sim"
+	"mlpcache/internal/simerr"
 	"mlpcache/internal/trace"
 	"mlpcache/internal/workload"
 )
@@ -64,8 +70,42 @@ const (
 // with a 444-cycle isolated miss.
 func DefaultConfig() Config { return sim.DefaultConfig() }
 
-// Run simulates the instruction source on the configured machine.
-func Run(cfg Config, src Source) Result { return sim.Run(cfg, src) }
+// Run simulates the instruction source on the configured machine. All
+// errors are typed: errors.Is against the exported sentinels
+// (ErrBadConfig, ErrCorruptTrace, ErrMSHRLeak, ErrInvariant,
+// ErrInternal) classifies them. See docs/ROBUSTNESS.md.
+func Run(cfg Config, src Source) (Result, error) { return sim.Run(cfg, src) }
+
+// MustRun is Run for known-good configurations: it panics on error.
+func MustRun(cfg Config, src Source) Result { return sim.MustRun(cfg, src) }
+
+// Error sentinels, re-exported from the internal error taxonomy. Every
+// error the simulator returns wraps exactly one of these.
+var (
+	// ErrBadConfig marks an invalid configuration or parameter.
+	ErrBadConfig = simerr.ErrBadConfig
+	// ErrCorruptTrace marks an undecodable or truncated trace stream.
+	ErrCorruptTrace = simerr.ErrCorruptTrace
+	// ErrMSHRLeak marks an MSHR allocate/free protocol violation.
+	ErrMSHRLeak = simerr.ErrMSHRLeak
+	// ErrInvariant marks an invariant-auditor violation.
+	ErrInvariant = simerr.ErrInvariant
+	// ErrUnknownBenchmark marks a benchmark-name lookup failure.
+	ErrUnknownBenchmark = simerr.ErrUnknownBenchmark
+	// ErrInternal marks a simulator bug caught at the Run boundary.
+	ErrInternal = simerr.ErrInternal
+)
+
+// Robustness tooling: the invariant auditor's report (Result.Audit when
+// Config.Audit is set) and the fault-injection plan (Config.Faults).
+type (
+	// AuditReport is the invariant auditor's accumulated outcome.
+	AuditReport = audit.Report
+	// AuditViolation records one invariant breach.
+	AuditViolation = audit.Violation
+	// FaultPlan describes deterministic faults to inject into a run.
+	FaultPlan = faultinject.Plan
+)
 
 // Instruction-stream types and generators.
 type (

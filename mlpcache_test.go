@@ -18,7 +18,7 @@ func TestQuickstartFlow(t *testing.T) {
 	if !ok {
 		t.Fatal("mcf model missing")
 	}
-	res := mlpcache.Run(cfg, bench.Build(42))
+	res := mlpcache.MustRun(cfg, bench.Build(42))
 	if res.Instructions != 120_000 || res.IPC <= 0 {
 		t.Fatalf("bad result: %s", res.Summary())
 	}
@@ -40,10 +40,10 @@ func TestCustomWorkloadFlow(t *testing.T) {
 	}
 	cfg := mlpcache.DefaultConfig()
 	cfg.MaxInstructions = 400_000
-	lru := mlpcache.Run(cfg, mix())
+	lru := mlpcache.MustRun(cfg, mix())
 
 	cfg.Policy = mlpcache.PolicySpec{Kind: mlpcache.PolicyLIN, Lambda: 4}
-	lin := mlpcache.Run(cfg, mix())
+	lin := mlpcache.MustRun(cfg, mix())
 
 	if lin.IPC <= lru.IPC {
 		t.Fatalf("LIN %.4f should beat LRU %.4f on a retainable chase", lin.IPC, lru.IPC)
