@@ -1,15 +1,25 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet fuzz-smoke bench clean
+.PHONY: tier1 build test race vet lint docs-check fuzz-smoke bench clean
 
 # tier1 is the repo's gate: every PR must leave it green.
-tier1: vet build race fuzz-smoke
+tier1: vet lint docs-check build race fuzz-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs both repo-convention checks (tools/lint): package-comment
+# paper anchors and the no-telemetry-on-stdout rule for the CLIs.
+lint:
+	$(GO) run ./tools/lint
+
+# docs-check verifies every internal package comment anchors the code to
+# the paper (Section/Figure/Table/Algorithm N) — the godoc contract.
+docs-check:
+	$(GO) run ./tools/lint -docs
 
 test:
 	$(GO) test ./...

@@ -15,6 +15,7 @@ import (
 	"mlpcache/internal/analytic"
 	"mlpcache/internal/core"
 	"mlpcache/internal/experiments"
+	"mlpcache/internal/metrics"
 	"mlpcache/internal/mshr"
 	"mlpcache/internal/prefetch"
 	"mlpcache/internal/sim"
@@ -313,6 +314,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		sim.MustRun(cfg, spec.Build(42))
 	}
 	b.ReportMetric(float64(benchInstructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkObservability quantifies the cost of the observability
+// layer (docs/OBSERVABILITY.md's "disabled observability is free"
+// contract): "off" is the plain simulation, "traced" streams every
+// event to an in-memory JSONL tracer, and "metrics" additionally
+// builds the full registry afterwards. Compare off against
+// BenchmarkSimulatorThroughput-era baselines — with Trace nil every
+// emit site costs one predictable branch, so off and the pre-layer
+// simulator should be indistinguishable.
+func BenchmarkObservability(b *testing.B) {
+	run := func(b *testing.B, tr metrics.Tracer, export bool) {
+		spec, _ := workload.ByName("equake")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := sim.DefaultConfig()
+			cfg.MaxInstructions = benchInstructions
+			cfg.Trace = tr
+			res := sim.MustRun(cfg, spec.Build(42))
+			if export {
+				if err := res.Metrics().WriteJSONL(io.Discard, res.Header("equake", 42)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(benchInstructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil, false) })
+	b.Run("traced", func(b *testing.B) {
+		run(b, metrics.NewJSONLTracer(io.Discard, metrics.RunHeader{Bench: "equake"}), false)
+	})
+	b.Run("metrics", func(b *testing.B) { run(b, nil, true) })
 }
 
 // BenchmarkGeneratorThroughput measures trace generation speed alone.

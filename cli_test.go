@@ -1,11 +1,16 @@
 package mlpcache_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mlpcache"
 )
 
 // End-to-end tests of the three command-line tools: build each binary
@@ -159,4 +164,186 @@ func TestCLIEndToEnd(t *testing.T) {
 			t.Fatalf("audited run did not report a clean audit:\n%s", out)
 		}
 	})
+}
+
+// strictJSONLines strict-decodes a JSONL document: the header line into
+// hdr, then every following line into a fresh value from mk, rejecting
+// unknown fields so the on-disk format cannot drift from the Go types.
+func strictJSONLines(t *testing.T, path string, hdr any, mk func() any) int {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	strict := func(line []byte, v any) {
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			t.Fatalf("%s: strict decode of %s: %v", path, line, err)
+		}
+	}
+	if !sc.Scan() {
+		t.Fatalf("%s: empty document", path)
+	}
+	strict(sc.Bytes(), hdr)
+	n := 0
+	for sc.Scan() {
+		strict(sc.Bytes(), mk())
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCLIObservability drives the machine-readable output paths of
+// mlpsim/mlpexp and round-trips every document through strict decoders
+// against the public API types — the docs/OBSERVABILITY.md contract at
+// the process boundary.
+func TestCLIObservability(t *testing.T) {
+	dir := buildTools(t)
+
+	t.Run("mlpsim-json-report", func(t *testing.T) {
+		out := runTool(t, dir, "mlpsim", "-bench", "mcf", "-n", "120000", "-json")
+		dec := json.NewDecoder(strings.NewReader(out))
+		dec.DisallowUnknownFields()
+		var rep mlpcache.RunReport
+		if err := dec.Decode(&rep); err != nil {
+			t.Fatalf("strict decode of -json output: %v\n%s", err, out)
+		}
+		if rep.Schema != mlpcache.ReportSchema {
+			t.Fatalf("report schema %q, want %q", rep.Schema, mlpcache.ReportSchema)
+		}
+		if rep.Bench != "mcf" || rep.Instructions != 120000 || len(rep.Metrics) == 0 {
+			t.Fatalf("report not populated: schema=%q bench=%q n=%d metrics=%d",
+				rep.Schema, rep.Bench, rep.Instructions, len(rep.Metrics))
+		}
+	})
+
+	t.Run("mlpsim-telemetry-files", func(t *testing.T) {
+		mPath := filepath.Join(dir, "run.metrics.jsonl")
+		ePath := filepath.Join(dir, "run.events.jsonl")
+		out := runTool(t, dir, "mlpsim", "-bench", "twolf", "-policy", "sbar",
+			"-n", "150000", "-series", "-audit", "-hist=false",
+			"-metrics", mPath, "-trace-events", ePath)
+		// Telemetry must not leak into the stdout report.
+		if strings.Contains(out, "\"schema\"") {
+			t.Fatalf("JSONL leaked to stdout:\n%s", out)
+		}
+		var mh mlpcache.RunHeader
+		n := strictJSONLines(t, mPath, &mh, func() any { return new(mlpcache.MetricSample) })
+		if mh.Schema != mlpcache.MetricsSchema || mh.Bench != "twolf" || n == 0 {
+			t.Fatalf("metrics document: schema=%q bench=%q samples=%d", mh.Schema, mh.Bench, n)
+		}
+		var eh mlpcache.RunHeader
+		n = strictJSONLines(t, ePath, &eh, func() any { return new(mlpcache.TraceEvent) })
+		if eh.Schema != mlpcache.EventsSchema || eh.Policy == "" || n == 0 {
+			t.Fatalf("events document: schema=%q policy=%q events=%d", eh.Schema, eh.Policy, n)
+		}
+	})
+
+	t.Run("mlpexp-json-and-metrics", func(t *testing.T) {
+		mPath := filepath.Join(dir, "exp.metrics.jsonl")
+		out := runTool(t, dir, "mlpexp", "-run", "fig2", "-bench", "mcf",
+			"-n", "60000", "-format", "json", "-metrics", mPath)
+		dec := json.NewDecoder(strings.NewReader(out))
+		var tbl struct {
+			Schema string     `json:"schema"`
+			Title  string     `json:"title"`
+			Header []string   `json:"header"`
+			Rows   [][]string `json:"rows"`
+			Notes  []string   `json:"notes"`
+		}
+		if err := dec.Decode(&tbl); err != nil {
+			t.Fatalf("decoding -format json output: %v\n%s", err, out)
+		}
+		if tbl.Schema != "mlpcache.table/v1" || len(tbl.Rows) == 0 {
+			t.Fatalf("table document: schema=%q rows=%d", tbl.Schema, len(tbl.Rows))
+		}
+		var mh mlpcache.RunHeader
+		if n := strictJSONLines(t, mPath, &mh, func() any { return new(mlpcache.MetricSample) }); n == 0 {
+			t.Fatal("mlpexp -metrics wrote no samples")
+		}
+	})
+
+	t.Run("pprof-profiles", func(t *testing.T) {
+		cpu := filepath.Join(dir, "cpu.pprof")
+		mem := filepath.Join(dir, "mem.pprof")
+		runTool(t, dir, "mlpsim", "-bench", "mcf", "-n", "200000", "-hist=false",
+			"-cpuprofile", cpu, "-memprofile", mem)
+		for _, p := range []string{cpu, mem} {
+			info, err := os.Stat(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Size() == 0 {
+				t.Fatalf("%s is empty", p)
+			}
+		}
+	})
+}
+
+// TestExperimentsCommandsRun parses the "Reproducing with metrics
+// export" fenced block of EXPERIMENTS.md and executes every command in
+// it (instruction counts reduced, benchmark set restricted, output
+// paths redirected into the test dir), so the documented reproduction
+// commands cannot rot.
+func TestExperimentsCommandsRun(t *testing.T) {
+	dir := buildTools(t)
+	raw, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body, found := strings.Cut(string(raw), "## Reproducing with metrics export")
+	if !found {
+		t.Fatal("EXPERIMENTS.md lost its 'Reproducing with metrics export' section")
+	}
+	_, block, found := strings.Cut(body, "```sh")
+	if !found {
+		t.Fatal("reproduction section lost its fenced command block")
+	}
+	block, _, _ = strings.Cut(block, "```")
+
+	var cmds [][]string
+	for _, line := range strings.Split(block, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "go run ./cmd/") {
+			cmds = append(cmds, strings.Fields(line))
+		}
+	}
+	if len(cmds) < 5 {
+		t.Fatalf("expected at least 5 documented commands, found %d", len(cmds))
+	}
+
+	for _, argv := range cmds {
+		tool := filepath.Base(argv[2])
+		args := append([]string(nil), argv[3:]...)
+		var outputs []string
+		hasBench := false
+		for i := 0; i < len(args)-1; i++ {
+			switch args[i] {
+			case "-n":
+				args[i+1] = "60000"
+			case "-metrics", "-trace-events", "-cpuprofile", "-memprofile":
+				args[i+1] = filepath.Join(dir, args[i+1])
+				outputs = append(outputs, args[i+1])
+			case "-bench":
+				hasBench = true
+			}
+		}
+		if tool == "mlpexp" && !hasBench {
+			args = append(args, "-bench", "mcf")
+		}
+		t.Run(strings.Join(argv[2:], " "), func(t *testing.T) {
+			runTool(t, dir, tool, args...)
+			for _, p := range outputs {
+				if info, err := os.Stat(p); err != nil || info.Size() == 0 {
+					t.Fatalf("documented command produced no output at %s (err=%v)", p, err)
+				}
+			}
+		})
+	}
 }

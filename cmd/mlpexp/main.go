@@ -1,12 +1,17 @@
 // Command mlpexp regenerates the paper's tables and figures. Each
-// experiment prints a paper-style text table; see DESIGN.md §4 for the
-// experiment index.
+// experiment prints a paper-style table to stdout in the chosen -format
+// (text, csv, or json); telemetry goes to files: -metrics appends one
+// metrics document per fresh simulation, -trace-events streams the event
+// JSONL with run.start boundaries between runs, and
+// -cpuprofile/-memprofile write pprof profiles. See DESIGN.md §4 for the
+// experiment index and docs/OBSERVABILITY.md for the telemetry schemas.
 //
 // Examples:
 //
 //	mlpexp -run fig5 -n 3000000
 //	mlpexp -run fig2,tab1
 //	mlpexp -run all
+//	mlpexp -run fig9 -format json -metrics runs.jsonl
 package main
 
 import (
@@ -16,21 +21,64 @@ import (
 	"strings"
 
 	"mlpcache/internal/experiments"
+	"mlpcache/internal/metrics"
+	"mlpcache/internal/prof"
+	"mlpcache/internal/sim"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated experiment ids: fig1..fig11, tab1..tab3, ovh, sens-mem, sens-cache, sens-mshr, sens-window, all, sens")
-		n      = flag.Uint64("n", 3_000_000, "instructions per simulation run")
-		seed   = flag.Uint64("seed", 42, "workload seed")
-		bench  = flag.String("bench", "", "comma-separated benchmark subset (default: all 14)")
-		format = flag.String("format", "text", "output format: text or csv")
+		run         = flag.String("run", "all", "comma-separated experiment ids: fig1..fig11, tab1..tab3, ovh, sens-mem, sens-cache, sens-mshr, sens-window, all, sens")
+		n           = flag.Uint64("n", 3_000_000, "instructions per simulation run")
+		seed        = flag.Uint64("seed", 42, "workload seed")
+		bench       = flag.String("bench", "", "comma-separated benchmark subset (default: all 14)")
+		format      = flag.String("format", "text", "output format: text, csv or json")
+		metricsPath = flag.String("metrics", "", "append each fresh run's metric set as JSONL (mlpcache.metrics/v1) to this file")
+		eventsPath  = flag.String("trace-events", "", "stream simulator events as JSONL (mlpcache.events/v1) to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlpexp: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mlpexp: "+format+"\n", args...)
+		stopProf()
+		os.Exit(1)
+	}
 
 	r := experiments.NewRunner(*n, *seed)
 	if *bench != "" {
 		r.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	var metricsFile *os.File
+	if *metricsPath != "" {
+		metricsFile, err = os.Create(*metricsPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		r.OnResult = func(b string, spec sim.PolicySpec, res sim.Result) {
+			if err := res.Metrics().WriteJSONL(metricsFile, res.Header(b, *seed)); err != nil {
+				fatal("metrics: %v", err)
+			}
+		}
+	}
+	var (
+		eventsFile *os.File
+		tracer     *metrics.JSONLTracer
+	)
+	if *eventsPath != "" {
+		eventsFile, err = os.Create(*eventsPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		tracer = metrics.NewJSONLTracer(eventsFile, metrics.RunHeader{Seed: *seed})
+		r.Trace = tracer
 	}
 
 	ids := strings.Split(*run, ",")
@@ -45,12 +93,31 @@ func main() {
 		switch *format {
 		case "csv":
 			err = experiments.RunByIDCSV(r, strings.TrimSpace(id), os.Stdout)
+		case "json":
+			err = experiments.RunByIDJSON(r, strings.TrimSpace(id), os.Stdout)
 		default:
 			err = experiments.RunByID(r, strings.TrimSpace(id), os.Stdout)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mlpexp: %v\n", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
+	}
+
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fatal("trace-events: %v", err)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fatal("trace-events: %v", err)
+		}
+	}
+	if metricsFile != nil {
+		if err := metricsFile.Close(); err != nil {
+			fatal("metrics: %v", err)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "mlpexp: %v\n", err)
+		os.Exit(1)
 	}
 }

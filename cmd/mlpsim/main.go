@@ -2,22 +2,32 @@
 // machine under a chosen L2 replacement policy and prints the full
 // statistics the paper's experiments are built from.
 //
+// Reports go to stdout; telemetry goes to files: -json swaps the text
+// report for a machine-readable one (schema "mlpcache.run/v1"), -metrics
+// and -trace-events stream JSONL documents to the given paths, and
+// -cpuprofile/-memprofile write pprof profiles. docs/OBSERVABILITY.md
+// documents every metric name, event type and schema.
+//
 // Examples:
 //
 //	mlpsim -bench mcf -policy lru -n 2000000
 //	mlpsim -bench mcf -policy lin -lambda 4 -n 2000000
 //	mlpsim -bench ammp -policy sbar -leaders 32 -n 4000000 -series
+//	mlpsim -bench mcf -json -metrics out.jsonl -trace-events ev.jsonl
 //	mlpsim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"mlpcache/internal/bpred"
+	"mlpcache/internal/metrics"
 	"mlpcache/internal/prefetch"
+	"mlpcache/internal/prof"
 	"mlpcache/internal/sim"
 	"mlpcache/internal/trace"
 	"mlpcache/internal/workload"
@@ -25,23 +35,28 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "mcf", "benchmark model to run (see -list)")
-		policy    = flag.String("policy", "lru", "replacement policy: lru|fifo|random|nmru|lin|sbar|cbs-local|cbs-global")
-		lambda    = flag.Int("lambda", 4, "LIN λ (also used inside SBAR/CBS)")
-		leaders   = flag.Int("leaders", 32, "SBAR leader sets")
-		pselBits  = flag.Int("psel", 0, "PSEL bits (0: policy default)")
-		randDyn   = flag.Bool("rand-dynamic", false, "use rand-dynamic leader selection for SBAR")
-		n         = flag.Uint64("n", 2_000_000, "instructions to simulate")
-		seed      = flag.Uint64("seed", 42, "workload seed")
-		series    = flag.Bool("series", false, "print the Figure 11 time series")
-		interval  = flag.Uint64("interval", 100_000, "time-series sample interval (instructions)")
-		epoch     = flag.Uint64("epoch", 250_000, "rand-dynamic reselection epoch (instructions)")
-		hist      = flag.Bool("hist", true, "print the mlp-cost histogram")
-		list      = flag.Bool("list", false, "list benchmark models and exit")
-		traceFile = flag.String("trace", "", "replay a binary trace file instead of a benchmark model")
-		pf        = flag.Bool("prefetch", false, "enable the L2 stride prefetcher")
-		auditFlag = flag.Bool("audit", false, "run the invariant auditor alongside the simulation")
-		bp        = flag.Bool("bpred", false, "use a live gshare/per-address hybrid branch predictor instead of oracle flags")
+		bench       = flag.String("bench", "mcf", "benchmark model to run (see -list)")
+		policy      = flag.String("policy", "lru", "replacement policy: lru|fifo|random|nmru|lin|sbar|cbs-local|cbs-global")
+		lambda      = flag.Int("lambda", 4, "LIN λ (also used inside SBAR/CBS)")
+		leaders     = flag.Int("leaders", 32, "SBAR leader sets")
+		pselBits    = flag.Int("psel", 0, "PSEL bits (0: policy default)")
+		randDyn     = flag.Bool("rand-dynamic", false, "use rand-dynamic leader selection for SBAR")
+		n           = flag.Uint64("n", 2_000_000, "instructions to simulate")
+		seed        = flag.Uint64("seed", 42, "workload seed")
+		series      = flag.Bool("series", false, "print the Figure 11 time series")
+		interval    = flag.Uint64("interval", 100_000, "time-series sample interval (instructions)")
+		epoch       = flag.Uint64("epoch", 250_000, "rand-dynamic reselection epoch (instructions)")
+		hist        = flag.Bool("hist", true, "print the mlp-cost histogram")
+		list        = flag.Bool("list", false, "list benchmark models and exit")
+		traceFile   = flag.String("trace", "", "replay a binary trace file instead of a benchmark model")
+		pf          = flag.Bool("prefetch", false, "enable the L2 stride prefetcher")
+		auditFlag   = flag.Bool("audit", false, "run the invariant auditor alongside the simulation")
+		bp          = flag.Bool("bpred", false, "use a live gshare/per-address hybrid branch predictor instead of oracle flags")
+		jsonOut     = flag.Bool("json", false, "print a machine-readable run report (mlpcache.run/v1) instead of text")
+		metricsPath = flag.String("metrics", "", "write the run's metric set as JSONL (mlpcache.metrics/v1) to this file")
+		eventsPath  = flag.String("trace-events", "", "stream simulator events as JSONL (mlpcache.events/v1) to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -53,27 +68,37 @@ func main() {
 		return
 	}
 
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlpsim: %v\n", err)
+		os.Exit(1)
+	}
+	// os.Exit skips defers, so every exit path below funnels through
+	// fatal or reaches the explicit stopProf at the end.
+	fatal := func(code int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mlpsim: "+format+"\n", args...)
+		stopProf()
+		os.Exit(code)
+	}
+
 	var src trace.Source
 	benchLabel := *bench
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mlpsim: %v\n", err)
-			os.Exit(1)
+			fatal(1, "%v", err)
 		}
 		defer f.Close()
 		r, err := trace.NewReader(f)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mlpsim: %v\n", err)
-			os.Exit(1)
+			fatal(1, "%v", err)
 		}
 		src = r
 		benchLabel = *traceFile + " (trace replay)"
 	} else {
 		spec, ok := workload.ByName(*bench)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "mlpsim: unknown benchmark %q (try -list)\n", *bench)
-			os.Exit(2)
+			fatal(2, "unknown benchmark %q (try -list)", *bench)
 		}
 		src = spec.Build(*seed)
 		benchLabel = fmt.Sprintf("%s (%s)", spec.Name, spec.Class)
@@ -105,12 +130,67 @@ func main() {
 	}
 	cfg.Audit = *auditFlag
 
+	var (
+		eventsFile *os.File
+		tracer     *metrics.JSONLTracer
+	)
+	if *eventsPath != "" {
+		eventsFile, err = os.Create(*eventsPath)
+		if err != nil {
+			fatal(1, "%v", err)
+		}
+		tracer = metrics.NewJSONLTracer(eventsFile, metrics.RunHeader{
+			Bench: *bench, Policy: cfg.Policy.String(), Seed: *seed,
+		})
+		cfg.Trace = tracer
+	}
+
 	res, err := sim.Run(cfg, src)
 	if err != nil {
+		fatal(1, "%v", err)
+	}
+
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fatal(1, "trace-events: %v", err)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fatal(1, "trace-events: %v", err)
+		}
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fatal(1, "%v", err)
+		}
+		if err := res.Metrics().WriteJSONL(f, res.Header(*bench, *seed)); err != nil {
+			f.Close()
+			fatal(1, "metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(1, "metrics: %v", err)
+		}
+	}
+
+	if *jsonOut {
+		report := res.Metrics().BuildReport(res.Header(*bench, *seed))
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(1, "json: %v", err)
+		}
+	} else {
+		printReport(res, benchLabel, *hist)
+	}
+
+	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "mlpsim: %v\n", err)
 		os.Exit(1)
 	}
+}
 
+// printReport renders the human-readable run report to stdout.
+func printReport(res sim.Result, benchLabel string, hist bool) {
 	fmt.Printf("benchmark   %s\n", benchLabel)
 	fmt.Printf("policy      %s\n", res.Policy)
 	fmt.Printf("instructions %d   cycles %d   IPC %.4f\n", res.Instructions, res.Cycles, res.IPC)
@@ -125,6 +205,8 @@ func main() {
 		res.CPU.MemStallCycles, res.CPU.MemStallEpisodes, res.CPU.FullWindowCycles)
 	fmt.Printf("DRAM: %d reads, %d writes; bank wait %d, bus wait %d cycles\n",
 		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.BankWaitCycles, res.DRAM.BusWaitCycles)
+	fmt.Printf("MSHR: %d allocations, %d merges, %d rejects; peak occupancy %d\n",
+		res.MSHR.Allocations, res.MSHR.Merges, res.MSHR.Rejects, res.MSHR.Peak)
 	if d := res.Delta; d.Samples() > 0 {
 		fmt.Printf("delta: <60 %.0f%%, 60-119 %.0f%%, >=120 %.0f%%, mean %.0f cycles (%d samples)\n",
 			d.PercentLt60(), d.PercentGe60Lt120(), d.PercentGe120(), d.Mean(), d.Samples())
@@ -144,7 +226,7 @@ func main() {
 			res.Hybrid.PselIncrements, res.Hybrid.PselDecrements,
 			res.Hybrid.LinVictims, res.Hybrid.LruVictims)
 	}
-	if *hist {
+	if hist {
 		fmt.Printf("mlp-cost distribution (%% of misses):\n")
 		pct := res.CostHist.Percent()
 		var labels, vals []string

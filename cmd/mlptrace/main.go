@@ -1,6 +1,7 @@
 // Command mlptrace generates, inspects and summarizes binary instruction
 // traces in the trace package's on-disk format, decoupling workload
-// generation from simulation.
+// generation from simulation. -cpuprofile/-memprofile write pprof
+// profiles (see docs/OBSERVABILITY.md).
 //
 // Examples:
 //
@@ -14,21 +15,34 @@ import (
 	"fmt"
 	"os"
 
+	"mlpcache/internal/prof"
 	"mlpcache/internal/trace"
 	"mlpcache/internal/workload"
 )
 
+// stopProf finishes any pprof profiles; set in main before any exit path
+// can run.
+var stopProf = func() error { return nil }
+
 func main() {
 	var (
-		gen   = flag.String("gen", "", "benchmark model to generate (see mlpsim -list)")
-		n     = flag.Int("n", 1_000_000, "instructions to generate")
-		seed  = flag.Uint64("seed", 42, "workload seed")
-		out   = flag.String("o", "", "output trace file (with -gen)")
-		dump  = flag.String("dump", "", "trace file to print")
-		limit = flag.Int("limit", 50, "instructions to print (with -dump)")
-		stat  = flag.String("stats", "", "trace file to summarize")
+		gen        = flag.String("gen", "", "benchmark model to generate (see mlpsim -list)")
+		n          = flag.Int("n", 1_000_000, "instructions to generate")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+		out        = flag.String("o", "", "output trace file (with -gen)")
+		dump       = flag.String("dump", "", "trace file to print")
+		limit      = flag.Int("limit", 50, "instructions to print (with -dump)")
+		stat       = flag.String("stats", "", "trace file to summarize")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	var err error
+	stopProf, err = prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
 
 	switch {
 	case *gen != "":
@@ -45,12 +59,17 @@ func main() {
 		}
 	default:
 		flag.Usage()
+		stopProf()
 		os.Exit(2)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "mlptrace: %v\n", err)
+	stopProf()
 	os.Exit(1)
 }
 

@@ -1,7 +1,11 @@
 // Package audit implements the simulator's invariant auditor: a set of
 // pluggable checkers that cross-check live simulator state (recency
 // stacks, MSHR bookkeeping, quantized costs, selector counters, sampling
-// directories) while a run is in progress.
+// directories) while a run is in progress. The checkers encode the
+// paper's structural invariants: Algorithm 1's cost accounting can never
+// leave an MSHR entry with a negative or unbounded cost, the Figure 3b
+// quantizer can never emit a value outside its 3-bit range, and the
+// Section 6 selector counters must stay within their saturation bounds.
 //
 // The auditor is built for "cheap when off, bounded when on": a disabled
 // run never constructs one, and an enabled run pays one integer compare

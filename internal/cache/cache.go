@@ -7,12 +7,15 @@
 // timing simulator a miss is serviced hundreds of cycles after it is
 // detected, with other accesses in between. Replacement is delegated to a
 // Policy, which sees a SetView exposing per-line recency rank and the
-// paper's quantized MLP-based cost.
+// paper's quantized MLP-based cost (Figure 3b) — the two operands of the
+// Section 5 linear cost function. The geometry defaults mirror the
+// paper's Table 2 baseline (1MB 16-way L2, 64B lines).
 package cache
 
 import (
 	"fmt"
 
+	"mlpcache/internal/metrics"
 	"mlpcache/internal/simerr"
 )
 
@@ -112,6 +115,17 @@ func (s Stats) MissRate() float64 {
 		return float64(s.Misses) / float64(a)
 	}
 	return 0
+}
+
+// Observe registers the counters under prefix (e.g. "cache.l2") in the
+// metrics registry: <prefix>.hit, .miss, .fill, .writeback plus the
+// derived .miss_rate gauge.
+func (s Stats) Observe(reg *metrics.Registry, prefix string) {
+	reg.Counter(prefix+".hit", "accesses", "tag-store probe hits").Add(s.Hits)
+	reg.Counter(prefix+".miss", "accesses", "tag-store probe misses").Add(s.Misses)
+	reg.Counter(prefix+".fill", "fills", "blocks installed").Add(s.Fills)
+	reg.Counter(prefix+".writeback", "evictions", "dirty evictions").Add(s.Writebacks)
+	reg.Gauge(prefix+".miss_rate", "ratio", "misses over accesses").Set(s.MissRate())
 }
 
 // Cache is a set-associative tag store.

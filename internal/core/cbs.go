@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mlpcache/internal/cache"
+	"mlpcache/internal/metrics"
 )
 
 // CBSScope selects between the per-set and global variants of Contest
@@ -47,6 +48,20 @@ type CBS struct {
 	lru     cache.Policy
 	pending map[uint64]cbsPending
 	stats   HybridStats
+	tr      metrics.Tracer
+}
+
+// SetTracer installs an event tracer: every PSEL movement emits a
+// "psel.update" event carrying the set index (always 0 under the global
+// scope). The tracer propagates to the MTD-facing LIN contestant so
+// victim decisions are traced; the ATD contestants stay untraced to keep
+// the stream about decisions that affect the real cache. A nil tracer
+// (the default) disables emission.
+func (c *CBS) SetTracer(tr metrics.Tracer) {
+	c.tr = tr
+	if ca, ok := c.lin.(*CostAware); ok {
+		ca.SetTracer(tr)
+	}
 }
 
 type cbsPending struct {
@@ -187,6 +202,12 @@ func (c *CBS) apply(set int, delta int8, cost uint8) {
 	case -1:
 		c.pselFor(set).Add(-int(cost))
 		c.stats.PselDecrements++
+	}
+	if delta != 0 && c.tr != nil {
+		c.tr.Emit(metrics.Event{
+			Type: metrics.EventPselUpdate, Set: set,
+			Delta: int(delta) * int(cost), Value: c.pselFor(set).Value(),
+		})
 	}
 }
 

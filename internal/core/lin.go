@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mlpcache/internal/cache"
+	"mlpcache/internal/metrics"
 
 	"mlpcache/internal/simerr"
 )
@@ -16,7 +17,13 @@ type CostAware struct {
 	cache.Base
 	name  string
 	score func(recency, costQ int) int
+	tr    metrics.Tracer
 }
+
+// SetTracer installs an event tracer; each victim decision then emits a
+// "victim" event carrying the winning way's R, cost_q, and score
+// operands. A nil tracer (the default) disables emission.
+func (p *CostAware) SetTracer(tr metrics.Tracer) { p.tr = tr }
 
 // NewCostAware builds a CARE policy from an arbitrary score function.
 func NewCostAware(name string, score func(recency, costQ int) int) *CostAware {
@@ -47,17 +54,25 @@ func (p *CostAware) Name() string { return p.name }
 // valid lines the minimum score wins, ties broken by smaller recency.
 func (p *CostAware) Victim(set cache.SetView) int {
 	best := -1
-	bestScore, bestRecency := 0, 0
+	bestScore, bestRecency, bestCostQ := 0, 0, 0
 	for w := 0; w < set.Ways(); w++ {
 		ln := set.Line(w)
 		if !ln.Valid {
 			return w
 		}
 		r := set.RecencyRank(w)
-		s := p.score(r, int(ln.CostQ))
+		c := int(ln.CostQ)
+		s := p.score(r, c)
 		if best < 0 || s < bestScore || (s == bestScore && r < bestRecency) {
-			best, bestScore, bestRecency = w, s, r
+			best, bestScore, bestRecency, bestCostQ = w, s, r, c
 		}
+	}
+	if p.tr != nil {
+		p.tr.Emit(metrics.Event{
+			Type: metrics.EventVictim, Set: set.Index, Way: best,
+			Recency: bestRecency, CostQ: bestCostQ, Score: bestScore,
+			Policy: p.name,
+		})
 	}
 	return best
 }

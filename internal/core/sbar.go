@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mlpcache/internal/cache"
+	"mlpcache/internal/metrics"
 
 	"mlpcache/internal/simerr"
 )
@@ -62,6 +63,19 @@ type SBAR struct {
 	cfg     SBARConfig
 	pending map[uint64]sbarPending
 	stats   HybridStats
+	tr      metrics.Tracer
+}
+
+// SetTracer installs an event tracer: leader-set contests emit
+// "sbar.leader" events and every PSEL movement emits a "psel.update"
+// event. The tracer propagates to the experimental contestant when it is
+// cost-aware, so follower victim decisions are traced too. A nil tracer
+// (the default) disables emission.
+func (s *SBAR) SetTracer(tr metrics.Tracer) {
+	s.tr = tr
+	if ca, ok := s.lin.(*CostAware); ok {
+		ca.SetTracer(tr)
+	}
 }
 
 type sbarPending struct {
@@ -169,6 +183,7 @@ func (s *SBAR) OnAccess(addr uint64, write, mtdHit, primaryMiss bool) {
 	case mtdHit && atdHit:
 		// Both policies hit: neither is doing better.
 		s.stats.TieBothHit++
+		s.leaderEvent(set, "both_hit")
 	case mtdHit && !atdHit:
 		// LIN (the leader set) is doing better. The cost of the
 		// miss the LRU ATD incurred is the block's stored cost in
@@ -177,10 +192,13 @@ func (s *SBAR) OnAccess(addr uint64, write, mtdHit, primaryMiss bool) {
 		cost, _ := s.mtd.CostOf(addr)
 		s.psel.Add(int(cost))
 		s.stats.PselIncrements++
+		s.pselEvent(int(cost))
+		s.leaderEvent(set, "mtd_hit")
 		s.atd.Fill(addr, cost, false)
 	case !mtdHit && atdHit:
 		// LRU is doing better; the decrement amount is the
 		// MLP-based cost of the miss, known when it is serviced.
+		s.leaderEvent(set, "atd_hit")
 		if primaryMiss {
 			s.pending[block] = sbarPending{decrement: true}
 		}
@@ -188,10 +206,25 @@ func (s *SBAR) OnAccess(addr uint64, write, mtdHit, primaryMiss bool) {
 		// Both miss: PSEL unchanged; the ATD still needs the block
 		// once its cost is known.
 		s.stats.TieBothMiss++
+		s.leaderEvent(set, "both_miss")
 		if primaryMiss {
 			s.pending[block] = sbarPending{fillATD: true}
 		}
 	}
+}
+
+func (s *SBAR) leaderEvent(set int, outcome string) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Emit(metrics.Event{Type: metrics.EventSBARLeader, Set: set, Outcome: outcome})
+}
+
+func (s *SBAR) pselEvent(delta int) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Emit(metrics.Event{Type: metrics.EventPselUpdate, Delta: delta, Value: s.psel.Value()})
 }
 
 // OnFill implements Hybrid.
@@ -205,6 +238,7 @@ func (s *SBAR) OnFill(addr uint64, costQ uint8) {
 	if p.decrement {
 		s.psel.Add(-int(costQ))
 		s.stats.PselDecrements++
+		s.pselEvent(-int(costQ))
 	}
 	if p.fillATD {
 		s.atd.Fill(addr, costQ, false)

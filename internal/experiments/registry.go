@@ -99,3 +99,16 @@ func RunByIDCSV(r *Runner, id string, w io.Writer) error {
 	}
 	return res.table().WriteCSV(w)
 }
+
+// RunByIDJSON executes one experiment and writes its table as one JSON
+// object (schema "mlpcache.table/v1").
+func RunByIDJSON(r *Runner, id string, w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	res, err := resolve(r, id)
+	if err != nil {
+		return err
+	}
+	return res.table().WriteJSON(w)
+}

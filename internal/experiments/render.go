@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -49,6 +50,32 @@ func (t *table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// TableJSON is a table's machine-readable form, the payload of
+// mlpexp -format json. Schema: "mlpcache.table/v1".
+type TableJSON struct {
+	Schema string     `json:"schema"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// TableSchema identifies the JSON table format.
+const TableSchema = "mlpcache.table/v1"
+
+// WriteJSON writes the table as one JSON object including the notes.
+func (t *table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(TableJSON{
+		Schema: TableSchema,
+		Title:  t.title,
+		Header: t.header,
+		Rows:   t.rows,
+		Notes:  t.notes,
+	})
 }
 
 // Render writes the table to w.

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"mlpcache/internal/metrics"
 	"mlpcache/internal/sim"
 	"mlpcache/internal/simerr"
 	"mlpcache/internal/workload"
@@ -32,6 +33,16 @@ type Runner struct {
 	Seed uint64
 	// Benchmarks restricts the benchmark set (nil: all 14).
 	Benchmarks []string
+
+	// Trace, when non-nil, is installed as every fresh simulation's
+	// event tracer; a "run.start" boundary event (Label=benchmark,
+	// Policy=spec) precedes each run's stream. Memoized replays emit
+	// nothing — their events were already streamed.
+	Trace metrics.Tracer
+	// OnResult, when non-nil, observes every fresh (non-memoized)
+	// simulation's result; mlpexp uses it to append per-run metrics
+	// documents to a JSONL file.
+	OnResult func(bench string, spec sim.PolicySpec, res sim.Result)
 
 	mu    sync.Mutex
 	cache map[string]sim.Result
@@ -106,7 +117,16 @@ func (r *Runner) run(bench string, spec sim.PolicySpec, interval, epoch uint64) 
 	cfg.Policy = spec
 	cfg.SampleInterval = interval
 	cfg.EpochInstructions = epoch
+	if r.Trace != nil {
+		r.Trace.Emit(metrics.Event{
+			Type: metrics.EventRunStart, Label: bench, Policy: spec.String(),
+		})
+		cfg.Trace = r.Trace
+	}
 	res := sim.MustRun(cfg, w.Build(r.Seed))
+	if r.OnResult != nil {
+		r.OnResult(bench, spec, res)
+	}
 
 	r.mu.Lock()
 	r.cache[key] = res

@@ -2,6 +2,9 @@
 // fault-injection harness. A Plan describes which faults to inject —
 // DRAM latency jitter, mid-run MSHR capacity throttling — and byte-level
 // helpers corrupt encoded trace streams for decode-robustness tests.
+// The fault surface targets the Table 2 baseline memory system (400-cycle
+// DRAM, 32-entry MSHR) whose timing Algorithm 1's cost accounting
+// depends on.
 //
 // Every fault source is seeded: the same Plan produces the same fault
 // sequence, so a failure found under injection replays exactly. The

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// EventsSchema identifies the event-trace JSONL document format (the
+// header line's "schema" field).
+const EventsSchema = "mlpcache.events/v1"
+
+// EventType names one kind of traced simulator event.
+type EventType string
+
+// The traced event types. docs/OBSERVABILITY.md documents each payload.
+const (
+	// EventMissIssue: a primary demand miss allocated an MSHR entry
+	// and begins accruing mlp-cost (Algorithm 1 start).
+	EventMissIssue EventType = "miss.issue"
+	// EventMissMerge: a demand access merged into an in-flight miss.
+	EventMissMerge EventType = "miss.merge"
+	// EventMissFill: an MSHR entry freed at fill time; Cost is the
+	// accrued mlp-based cost, CostQ its 3-bit quantization (Figure 3b).
+	EventMissFill EventType = "miss.fill"
+	// EventVictim: a cost-aware policy picked a victim; Recency and
+	// CostQ are the LIN operands, Score = R + lambda*cost_q.
+	EventVictim EventType = "victim"
+	// EventPselUpdate: a policy-selector counter moved; Delta is the
+	// signed step, Value the post-update counter.
+	EventPselUpdate EventType = "psel.update"
+	// EventSBARLeader: a leader-set access classified by the SBAR
+	// tie-breaking logic; Outcome is one of both_hit, mtd_hit,
+	// atd_hit, both_miss.
+	EventSBARLeader EventType = "sbar.leader"
+	// EventRunStart: a run boundary in a multi-run stream (mlpexp);
+	// Label is the benchmark, Policy the policy spec.
+	EventRunStart EventType = "run.start"
+)
+
+// Event is one traced simulator event — one JSONL line in an events
+// document. Only Type is always present; every other field is omitted
+// when zero (absent means 0 / empty), except Outcome which is a string
+// precisely so that its values are never dropped.
+type Event struct {
+	Type    EventType `json:"t"`
+	Cycle   uint64    `json:"cycle,omitempty"`
+	Addr    uint64    `json:"addr,omitempty"`
+	Block   uint64    `json:"block,omitempty"`
+	Set     int       `json:"set,omitempty"`
+	Way     int       `json:"way,omitempty"`
+	Cost    float64   `json:"cost,omitempty"`
+	CostQ   int       `json:"cost_q,omitempty"`
+	Recency int       `json:"r,omitempty"`
+	Score   int       `json:"score,omitempty"`
+	Policy  string    `json:"policy,omitempty"`
+	Delta   int       `json:"delta,omitempty"`
+	Value   int       `json:"value,omitempty"`
+	Outcome string    `json:"outcome,omitempty"`
+	Label   string    `json:"label,omitempty"`
+}
+
+// Tracer receives simulator events. A nil Tracer disables tracing; every
+// emit site is guarded by a nil check so the disabled path costs one
+// branch.
+type Tracer interface {
+	Emit(Event)
+}
+
+// JSONLTracer streams events as JSONL through a buffered writer. The
+// header line is written at construction. Write errors are sticky: the
+// first one is kept and later Emits become no-ops, so hot paths never
+// check errors — call Flush once at the end.
+type JSONLTracer struct {
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	err   error
+	count uint64
+}
+
+// NewJSONLTracer wraps w and writes the events header line. hdr.Schema
+// is forced to EventsSchema.
+func NewJSONLTracer(w io.Writer, hdr RunHeader) *JSONLTracer {
+	hdr.Schema = EventsSchema
+	bw := bufio.NewWriter(w)
+	t := &JSONLTracer{bw: bw, enc: json.NewEncoder(bw)}
+	t.err = t.enc.Encode(hdr)
+	return t
+}
+
+// Emit writes one event line (no-op after a write error).
+func (t *JSONLTracer) Emit(ev Event) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(ev)
+	if t.err == nil {
+		t.count++
+	}
+}
+
+// Events returns the number of events successfully encoded.
+func (t *JSONLTracer) Events() uint64 { return t.count }
+
+// Flush drains the buffer and returns the first error seen, if any.
+func (t *JSONLTracer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.bw.Flush()
+}
+
+// FuncTracer adapts a function to the Tracer interface (handy in tests).
+type FuncTracer func(Event)
+
+// Emit calls the function.
+func (f FuncTracer) Emit(ev Event) { f(ev) }

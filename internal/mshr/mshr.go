@@ -15,6 +15,7 @@ package mshr
 import (
 	"fmt"
 
+	"mlpcache/internal/metrics"
 	"mlpcache/internal/simerr"
 )
 
@@ -74,6 +75,38 @@ type MSHR struct {
 
 	// Peak tracks the maximum simultaneous occupancy observed.
 	Peak int
+
+	allocations uint64 // primary entries created
+	merges      uint64 // accesses absorbed by an in-flight entry
+	rejects     uint64 // allocations refused because the file was full
+}
+
+// Stats is the file's lifetime accounting, exported to the metrics
+// registry as the mshr.* family.
+type Stats struct {
+	// Allocations counts primary entries created (demand and prefetch).
+	Allocations uint64
+	// Merges counts accesses absorbed by an in-flight entry.
+	Merges uint64
+	// Rejects counts allocations refused because the file was full.
+	Rejects uint64
+	// Peak is the maximum simultaneous occupancy observed.
+	Peak int
+}
+
+// Stats returns the file's lifetime accounting.
+func (m *MSHR) Stats() Stats {
+	return Stats{Allocations: m.allocations, Merges: m.merges, Rejects: m.rejects, Peak: m.Peak}
+}
+
+// Observe registers the counters in the metrics registry as the mshr.*
+// family: mshr.allocations, mshr.merges, mshr.rejects, and the
+// mshr.occupancy.peak gauge.
+func (s Stats) Observe(reg *metrics.Registry) {
+	reg.Counter("mshr.allocations", "entries", "primary MSHR entries created").Add(s.Allocations)
+	reg.Counter("mshr.merges", "accesses", "accesses merged into in-flight entries").Add(s.Merges)
+	reg.Counter("mshr.rejects", "accesses", "allocations refused with the file full").Add(s.Rejects)
+	reg.Gauge("mshr.occupancy.peak", "entries", "maximum simultaneous occupancy").Set(float64(s.Peak))
 }
 
 // New builds an MSHR file. It panics (with a typed simerr.ErrBadConfig
@@ -162,9 +195,11 @@ func (m *MSHR) Allocate(block uint64, demand bool, cycle uint64) (primary, full 
 				m.clockBase[block] = m.clock
 			}
 		}
+		m.merges++
 		return false, false
 	}
 	if m.Full() {
+		m.rejects++
 		return false, true
 	}
 	slot := -1
@@ -185,6 +220,7 @@ func (m *MSHR) Allocate(block uint64, demand bool, cycle uint64) (primary, full 
 	if len(m.index) > m.Peak {
 		m.Peak = len(m.index)
 	}
+	m.allocations++
 	return true, false
 }
 

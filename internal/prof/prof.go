@@ -1,0 +1,57 @@
+// Package prof wires runtime/pprof profiling into the CLIs
+// (-cpuprofile / -memprofile on mlpsim, mlpexp and mlptrace): the
+// instrumentation behind the paper's Section 7 overhead discussion when
+// the simulator itself is the system under measurement. See the "pprof"
+// section of docs/OBSERVABILITY.md for usage.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths
+// and returns a stop function that finishes them. Call stop on every
+// exit path before os.Exit — deferred calls do not run through os.Exit.
+// With both paths empty, Start is a no-op and stop returns nil.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = fmt.Errorf("prof: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("prof: create mem profile: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // flush recent allocations into the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("prof: write mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("prof: close mem profile: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

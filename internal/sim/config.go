@@ -15,6 +15,7 @@ import (
 	"mlpcache/internal/cpu"
 	"mlpcache/internal/dram"
 	"mlpcache/internal/faultinject"
+	"mlpcache/internal/metrics"
 	"mlpcache/internal/mshr"
 	"mlpcache/internal/prefetch"
 	"mlpcache/internal/simerr"
@@ -137,6 +138,13 @@ type Config struct {
 	// MissHook, when set, observes every serviced L2 miss (instrumentation
 	// for workload analysis and tests).
 	MissHook func(addr uint64, costQ uint8)
+	// Trace, when non-nil, receives the event stream documented in
+	// docs/OBSERVABILITY.md: miss issue/merge/fill with accrued
+	// mlp-cost, victim selections with the LIN operands, PSEL updates,
+	// and SBAR leader contests. Events are stamped with the current
+	// cycle before delivery. A nil tracer costs one predictable branch
+	// per potential emit site.
+	Trace metrics.Tracer
 	// DisableFastForward forces strict cycle-by-cycle simulation. The
 	// fast-forward optimization is exact (tests assert equivalence), so
 	// this exists only for those tests and for debugging.

@@ -7,10 +7,27 @@ import (
 	"mlpcache/internal/core"
 	"mlpcache/internal/dram"
 	"mlpcache/internal/faultinject"
+	"mlpcache/internal/metrics"
 	"mlpcache/internal/mshr"
 	"mlpcache/internal/prefetch"
 	"mlpcache/internal/stats"
 )
+
+// clockTracer stamps outgoing events with the current cycle before
+// forwarding them. The replacement policies emit victim and PSEL events
+// without a notion of time; the memory system keeps now current so the
+// exported stream is fully ordered.
+type clockTracer struct {
+	dst metrics.Tracer
+	now uint64
+}
+
+func (t *clockTracer) Emit(ev metrics.Event) {
+	if ev.Cycle == 0 {
+		ev.Cycle = t.now
+	}
+	t.dst.Emit(ev)
+}
 
 // MemStats aggregates the memory-side counters the experiments consume.
 type MemStats struct {
@@ -126,6 +143,10 @@ type memSystem struct {
 	// nil injector is inert, so the hot path needs no flag check.
 	inj *faultinject.Injector
 
+	// tr, when non-nil, receives the miss-lifecycle event stream and is
+	// shared (cycle-stamped) with the replacement policies.
+	tr *clockTracer
+
 	// Interval accumulators for the Figure 11 time series.
 	intMisses   uint64
 	intCostQSum uint64
@@ -149,7 +170,27 @@ func newMemSystem(cfg Config, l2 *cache.Cache, hybrid core.Hybrid, inj *faultinj
 		m.pf = prefetch.New(*cfg.Prefetch)
 		m.prefetched = make(map[uint64]struct{})
 	}
+	if cfg.Trace != nil {
+		m.tr = &clockTracer{dst: cfg.Trace}
+		attachTracer(l2, hybrid, m.tr)
+	}
 	return m
+}
+
+// attachTracer hands the cycle-stamping tracer to whichever replacement
+// machinery can emit events: the hybrid engines (which propagate it to
+// their cost-aware contestant) or a bare cost-aware policy on the L2.
+func attachTracer(l2 *cache.Cache, hybrid core.Hybrid, tr metrics.Tracer) {
+	switch h := hybrid.(type) {
+	case *core.SBAR:
+		h.SetTracer(tr)
+	case *core.CBS:
+		h.SetTracer(tr)
+	default:
+		if ca, ok := l2.Policy().(*core.CostAware); ok {
+			ca.SetTracer(tr)
+		}
+	}
 }
 
 // dramRead issues a DRAM read and applies any injected latency jitter to
@@ -187,6 +228,9 @@ func (m *memSystem) trainPrefetcher(block uint64, now uint64) {
 
 // Access implements cpu.MemSystem.
 func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
+	if m.tr != nil {
+		m.tr.now = now
+	}
 	if m.l1.Probe(addr, write) {
 		return now + m.cfg.L1Lat, true
 	}
@@ -212,6 +256,9 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 		// prefetch); completes with it.
 		m.mshr.Allocate(block, true, now)
 		f.write = f.write || write
+		if m.tr != nil {
+			m.tr.Emit(metrics.Event{Type: metrics.EventMissMerge, Addr: addr, Block: block})
+		}
 		if f.prefetch {
 			// A late prefetch: the demand access still waits, but
 			// the cost clock only starts now (demand upgrade).
@@ -238,6 +285,9 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 		return 0, false // structural stall; the core retries
 	}
 	m.mshr.Allocate(block, true, now)
+	if m.tr != nil {
+		m.tr.Emit(metrics.Event{Type: metrics.EventMissIssue, Addr: addr, Block: block})
+	}
 	if m.hybrid != nil {
 		m.hybrid.OnAccess(addr, write, false, true)
 	}
@@ -259,6 +309,9 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 // into the hierarchy. A non-nil error reports an MSHR protocol violation
 // (simerr.ErrMSHRLeak) and aborts the run.
 func (m *memSystem) Tick(now uint64) error {
+	if m.tr != nil {
+		m.tr.now = now
+	}
 	m.mshr.Tick(now)
 	for len(m.fills) > 0 && m.fills.Peek().done <= now {
 		f := heap.Pop(&m.fills).(*fill)
@@ -306,6 +359,12 @@ func (m *memSystem) service(f *fill, now uint64) error {
 	}
 
 	costQ := core.Quantize(cost)
+	if m.tr != nil {
+		m.tr.Emit(metrics.Event{
+			Type: metrics.EventMissFill, Addr: f.addr, Block: block,
+			Cost: cost, CostQ: int(costQ),
+		})
+	}
 	if m.cfg.MissHook != nil {
 		m.cfg.MissHook(f.addr, costQ)
 	}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"mlpcache/internal/metrics"
+)
+
+// Metrics exports the result as a metrics registry: every counter the run
+// accumulated under the stable dotted names catalogued in
+// docs/OBSERVABILITY.md. Conditional families (hybrid.*, psel.*,
+// interval.*, audit.*) appear only when the run produced them; everything
+// else is always present, zero-valued if idle.
+func (r Result) Metrics() *metrics.Registry {
+	reg := metrics.NewRegistry()
+
+	// Run totals.
+	reg.Counter("run.instructions", "instructions", "instructions retired").Add(r.Instructions)
+	reg.Counter("run.cycles", "cycles", "cycles simulated").Add(r.Cycles)
+	reg.Gauge("run.ipc", "ipc", "retired instructions per cycle").Set(r.IPC)
+
+	// Core.
+	reg.Counter("cpu.retired", "instructions", "instructions retired by the core").Add(r.CPU.Retired)
+	reg.Counter("cpu.loads", "instructions", "load instructions retired").Add(r.CPU.Loads)
+	reg.Counter("cpu.stores", "instructions", "store instructions retired").Add(r.CPU.Stores)
+	reg.Counter("cpu.branches", "instructions", "branch instructions retired").Add(r.CPU.Branches)
+	reg.Counter("cpu.mispredicts", "branches", "mispredicted branches").Add(r.CPU.Mispredicts)
+	reg.Counter("cpu.mem_stall_cycles", "cycles", "cycles retirement blocked on memory").Add(r.CPU.MemStallCycles)
+	reg.Counter("cpu.mem_stall_episodes", "episodes", "maximal memory-stall runs").Add(r.CPU.MemStallEpisodes)
+	reg.Counter("cpu.full_window_cycles", "cycles", "cycles fetch blocked by a full window").Add(r.CPU.FullWindowCycles)
+	reg.Counter("cpu.fetch_mispredict_cycles", "cycles", "cycles fetch blocked on a mispredict").Add(r.CPU.FetchMispredictCycles)
+	reg.Counter("cpu.store_buffer_full", "events", "issues rejected by a full store buffer").Add(r.CPU.StoreBufferFullEvents)
+	reg.Counter("cpu.mshr_rejects", "events", "accesses the memory system refused").Add(r.CPU.MSHRRejects)
+
+	// Branch predictor (zero when the oracle front end is in use).
+	reg.Counter("bpred.lookups", "branches", "live predictor lookups").Add(r.Bpred.Lookups)
+	reg.Counter("bpred.mispredicts", "branches", "live predictor mispredicts").Add(r.Bpred.Mispredicts)
+	reg.Counter("bpred.gshare_used", "branches", "lookups routed to gshare").Add(r.Bpred.GshareUsed)
+	reg.Gauge("bpred.mispredict_rate", "ratio", "mispredicts over lookups").Set(r.Bpred.MispredictRate())
+
+	// Tag stores.
+	r.L1.Observe(reg, "cache.l1")
+	r.L2.Observe(reg, "cache.l2")
+	reg.Counter("cache.l1.writeback_drop", "evictions", "dirty L1 evictions whose block was absent from L2").Add(r.Mem.L1WritebackDrops)
+	reg.Counter("cache.l2.demand_miss", "misses", "primary L2 demand misses serviced by DRAM").Add(r.Mem.DemandMisses)
+	reg.Counter("cache.l2.merged_miss", "misses", "L2 misses merged into an in-flight entry").Add(r.Mem.MergedMisses)
+	reg.Counter("cache.l2.compulsory_miss", "misses", "first-ever-reference demand misses").Add(r.Mem.CompulsoryMisses)
+
+	// MSHR file (Algorithm 1's home).
+	r.MSHR.Observe(reg)
+
+	// MLP-based cost accounting (Figure 2, Figure 3b).
+	reg.Counter("cost_q.sum", "cost_q", "summed quantized cost over serviced misses").Add(r.Mem.CostQSum)
+	reg.Gauge("cost_q.avg", "cost_q", "mean quantized cost per serviced miss").Set(r.AvgCostQ())
+	reg.Gauge("mlp_cost.avg", "cycles", "mean mlp-based cost per serviced miss").Set(r.AvgMLPCost())
+	reg.AttachHistogram("cost_q.hist", "cycles", "mlp-cost distribution, 60-cycle bins, final bin 420+", r.CostHist)
+
+	// Table 1 successive-miss cost deltas.
+	reg.Counter("delta.lt60", "misses", "successive-miss cost deltas below 60 cycles").Add(r.Delta.Lt60)
+	reg.Counter("delta.ge60_lt120", "misses", "deltas in [60,120) cycles").Add(r.Delta.Ge60Lt120)
+	reg.Counter("delta.ge120", "misses", "deltas of 120+ cycles").Add(r.Delta.Ge120)
+	reg.Gauge("delta.mean", "cycles", "mean successive-miss cost delta").Set(r.Delta.Mean())
+
+	// DRAM.
+	reg.Counter("dram.reads", "requests", "DRAM read requests").Add(r.DRAM.Reads)
+	reg.Counter("dram.writes", "requests", "DRAM write requests").Add(r.DRAM.Writes)
+	reg.Counter("dram.bank_wait_cycles", "cycles", "cycles queued behind busy banks").Add(r.DRAM.BankWaitCycles)
+	reg.Counter("dram.bus_wait_cycles", "cycles", "cycles queued for the shared bus").Add(r.DRAM.BusWaitCycles)
+
+	// Prefetcher (all zero when disabled).
+	reg.Counter("prefetch.issued", "requests", "prefetches issued").Add(r.Mem.PrefetchIssued)
+	reg.Counter("prefetch.dropped", "requests", "prefetches dropped for lack of an MSHR entry").Add(r.Mem.PrefetchDropped)
+	reg.Counter("prefetch.useful", "fills", "prefetched blocks later hit by demand").Add(r.Mem.PrefetchUseful)
+	reg.Counter("prefetch.unused", "fills", "prefetched blocks evicted untouched").Add(r.Mem.PrefetchUnused)
+	reg.Counter("prefetch.late", "requests", "in-flight prefetches a demand access merged into").Add(r.Mem.PrefetchLate)
+
+	// Hybrid selection machinery (SBAR/CBS/DIP runs only).
+	if r.Hybrid != nil {
+		h := r.Hybrid
+		reg.Counter("psel.increments", "updates", "PSEL movements toward LIN").Add(h.PselIncrements)
+		reg.Counter("psel.decrements", "updates", "PSEL movements toward LRU").Add(h.PselDecrements)
+		reg.Counter("hybrid.lin_victims", "victims", "victim decisions made by LIN").Add(h.LinVictims)
+		reg.Counter("hybrid.lru_victims", "victims", "victim decisions made by the baseline policy").Add(h.LruVictims)
+		reg.Counter("hybrid.epoch_reselects", "epochs", "leader re-draws that changed the map").Add(h.EpochReselects)
+		reg.Counter("hybrid.leader_accesses", "accesses", "accesses observed by the contest machinery").Add(h.LeaderAccesses)
+		reg.Counter("hybrid.tie_both_hit", "contests", "contests both policies hit").Add(h.TieBothHit)
+		reg.Counter("hybrid.tie_both_miss", "contests", "contests both policies missed").Add(h.TieBothMiss)
+	}
+
+	// Interval time series (SampleInterval runs only).
+	if r.Series != nil {
+		s := r.Series
+		reg.AttachSeries("interval.ipc", "ipc", "per-interval IPC (Figure 11)", &s.IPC)
+		reg.AttachSeries("interval.mpki", "mpki", "per-interval L2 demand MPKI", &s.MPKI)
+		reg.AttachSeries("interval.avg_cost_q", "cost_q", "per-interval mean quantized cost", &s.AvgCostQ)
+		reg.AttachSeries("interval.using_lin", "boolean", "1 when LIN was selected at the boundary", &s.UsingLIN)
+		reg.AttachSeries("psel.value", "counter", "selector counter at interval boundaries", &s.PselValue)
+		reg.AttachSeries("mshr.occupancy", "entries", "miss-file occupancy at interval boundaries", &s.MSHROccupancy)
+	}
+
+	// Invariant auditor (audited runs only).
+	if r.Audit != nil {
+		reg.Counter("audit.checks", "passes", "completed auditor passes").Add(r.Audit.Checks)
+		reg.Counter("audit.violations", "violations", "invariant breaches retained").Add(uint64(len(r.Audit.Violations)))
+		reg.Counter("audit.dropped", "violations", "breaches beyond the retention cap").Add(uint64(r.Audit.Dropped))
+	}
+
+	return reg
+}
+
+// Header builds the JSONL run header identifying this result. bench and
+// seed come from the caller (the Result does not record them).
+func (r Result) Header(bench string, seed uint64) metrics.RunHeader {
+	return metrics.RunHeader{
+		Bench:        bench,
+		Policy:       r.Policy,
+		Seed:         seed,
+		Instructions: r.Instructions,
+		Cycles:       r.Cycles,
+		IPC:          r.IPC,
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"mlpcache/internal/cpu"
 	"mlpcache/internal/dram"
 	"mlpcache/internal/faultinject"
+	"mlpcache/internal/mshr"
 	"mlpcache/internal/simerr"
 	"mlpcache/internal/stats"
 	"mlpcache/internal/trace"
@@ -29,6 +30,13 @@ type SeriesSet struct {
 	// follower sets at each interval boundary (1.0) or LRU (0.0);
 	// empty for fixed policies.
 	UsingLIN stats.Series
+	// PselValue samples the selector counter at each interval boundary
+	// (SBAR's single PSEL, CBS's global/set-0 counter); empty for fixed
+	// policies.
+	PselValue stats.Series
+	// MSHROccupancy samples the miss file's occupancy at each interval
+	// boundary.
+	MSHROccupancy stats.Series
 }
 
 // Result bundles everything a run measured.
@@ -46,6 +54,7 @@ type Result struct {
 	L2    cache.Stats
 	DRAM  dram.Stats
 	Mem   MemStats
+	MSHR  mshr.Stats
 
 	// CostHist is the Figure 2 mlp-cost distribution (60-cycle bins,
 	// final bin 420+) over serviced demand misses.
@@ -180,10 +189,12 @@ func Run(cfg Config, src trace.Source) (res Result, err error) {
 	var ser *SeriesSet
 	if cfg.SampleInterval > 0 {
 		ser = &SeriesSet{
-			AvgCostQ: stats.Series{Name: "avg-costq-per-miss"},
-			MPKI:     stats.Series{Name: "mpki"},
-			IPC:      stats.Series{Name: "ipc"},
-			UsingLIN: stats.Series{Name: "lin-selected"},
+			AvgCostQ:      stats.Series{Name: "avg-costq-per-miss"},
+			MPKI:          stats.Series{Name: "mpki"},
+			IPC:           stats.Series{Name: "ipc"},
+			UsingLIN:      stats.Series{Name: "lin-selected"},
+			PselValue:     stats.Series{Name: "psel-value"},
+			MSHROccupancy: stats.Series{Name: "mshr-occupancy"},
 		}
 	}
 
@@ -227,7 +238,11 @@ func Run(cfg Config, src trace.Source) (res Result, err error) {
 					v = 1.0
 				}
 				ser.UsingLIN.Add(retired, v)
+				if psel, ok := pselValueOf(hybrid); ok {
+					ser.PselValue.Add(retired, float64(psel))
+				}
 			}
+			ser.MSHROccupancy.Add(retired, float64(mem.mshr.Len()))
 			sampleCycle = now
 			nextSample += cfg.SampleInterval
 		}
@@ -266,6 +281,7 @@ func Run(cfg Config, src trace.Source) (res Result, err error) {
 		L2:           mem.l2.Stats(),
 		DRAM:         mem.dram.Stats(),
 		Mem:          mem.mstats,
+		MSHR:         mem.mshr.Stats(),
 		CostHist:     mem.costHist,
 		Delta:        mem.delta,
 		Series:       ser,
@@ -300,6 +316,19 @@ func statsOf(h core.Hybrid) core.HybridStats {
 		return v.Stats()
 	default:
 		return core.HybridStats{}
+	}
+}
+
+// pselValueOf returns the hybrid's selector counter value: SBAR's single
+// PSEL, or CBS's set-0 counter (the global counter under CBSGlobal).
+func pselValueOf(h core.Hybrid) (int, bool) {
+	switch v := h.(type) {
+	case *core.SBAR:
+		return v.Psel().Value(), true
+	case *core.CBS:
+		return v.Psel(0).Value(), true
+	default:
+		return 0, false
 	}
 }
 

@@ -1,7 +1,10 @@
 // Package simerr defines the simulator's error taxonomy: a small set of
 // sentinel errors every internal package wraps its failures in, so
 // callers — sim.Run, the CLIs, the experiment harness — can classify a
-// failure with errors.Is without parsing message strings.
+// failure with errors.Is without parsing message strings. ErrBadConfig
+// guards the knobs of the paper's Table 2 baseline machine (cache
+// geometry, MSHR size, DRAM timing) against values the model's
+// assumptions — Algorithm 1's cost accrual included — do not cover.
 //
 // Conventions (see docs/ROBUSTNESS.md):
 //

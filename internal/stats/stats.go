@@ -51,6 +51,9 @@ func (h *Histogram) Add(v float64) {
 // Total returns the number of samples recorded.
 func (h *Histogram) Total() uint64 { return h.total }
 
+// Width returns the bin width.
+func (h *Histogram) Width() float64 { return h.width }
+
 // Mean returns the mean of all recorded samples (0 if empty).
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {
@@ -165,6 +168,15 @@ func (s *Series) Values() []float64 {
 		out[i] = p.Value
 	}
 	return out
+}
+
+// Len returns the number of points in the series.
+func (s *Series) Len() int { return len(s.Points) }
+
+// At returns the i'th point as (instruction index, value).
+func (s *Series) At(i int) (uint64, float64) {
+	p := s.Points[i]
+	return p.Instructions, p.Value
 }
 
 // MinMax returns the extremes of the series values; ok is false if the

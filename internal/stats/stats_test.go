@@ -94,6 +94,51 @@ func TestHistogramSparkline(t *testing.T) {
 	}
 }
 
+func TestHistogramSingleBin(t *testing.T) {
+	// A one-bin histogram is all overflow bin: every sample lands in it,
+	// its label is the bare overflow form, and the sparkline is one full
+	// block once anything is recorded.
+	h := NewHistogram(60, 1)
+	if got := h.BinLabel(0); got != "0+" {
+		t.Fatalf("single-bin label = %q, want \"0+\"", got)
+	}
+	if got := len([]rune(h.Sparkline())); got != 1 {
+		t.Fatalf("empty single-bin sparkline has %d runes, want 1", got)
+	}
+	h.Add(-5)
+	h.Add(0)
+	h.Add(1e9)
+	if h.Total() != 3 || h.Bins()[0] != 3 {
+		t.Fatalf("total=%d bins=%v, want all 3 samples in the one bin", h.Total(), h.Bins())
+	}
+	if got := h.Sparkline(); got != "█" {
+		t.Fatalf("loaded single-bin sparkline = %q, want full block", got)
+	}
+	if pct := h.Percent(); pct[0] != 100 {
+		t.Fatalf("single-bin percent = %v, want [100]", pct)
+	}
+}
+
+func TestHistogramSparklineUniform(t *testing.T) {
+	// Equal counts in every bin must render as a flat line of full
+	// blocks (each bin is at the maximum).
+	h := NewHistogram(10, 4)
+	for i := 0; i < 4; i++ {
+		h.Add(float64(i) * 10)
+	}
+	if got := h.Sparkline(); got != "████" {
+		t.Fatalf("uniform sparkline = %q, want \"████\"", got)
+	}
+}
+
+func TestHistogramWidthAccessor(t *testing.T) {
+	// Width feeds the metrics registry's histogram snapshots; it must
+	// echo the constructor argument.
+	if got := NewHistogram(60, 8).Width(); got != 60 {
+		t.Fatalf("Width() = %v, want 60", got)
+	}
+}
+
 func TestHistogramPanicsOnBadArgs(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -134,5 +179,31 @@ func TestSeries(t *testing.T) {
 	vals := s.Values()
 	if len(vals) != 3 || vals[1] != 0.5 {
 		t.Fatalf("Values = %v", vals)
+	}
+}
+
+func TestSeriesSinglePoint(t *testing.T) {
+	// With one point, min and max coincide on it.
+	var s Series
+	s.Add(100, 1.25)
+	min, max, ok := s.MinMax()
+	if !ok || min != 1.25 || max != 1.25 {
+		t.Fatalf("single-point MinMax = %v %v %v, want 1.25 1.25 true", min, max, ok)
+	}
+}
+
+func TestSeriesLenAt(t *testing.T) {
+	// Len/At are the SeriesSource view the metrics registry snapshots.
+	var s Series
+	if s.Len() != 0 {
+		t.Fatalf("empty Len = %d", s.Len())
+	}
+	s.Add(100, 1.5)
+	s.Add(200, 0.5)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if i, v := s.At(1); i != 200 || v != 0.5 {
+		t.Fatalf("At(1) = %d %v, want 200 0.5", i, v)
 	}
 }

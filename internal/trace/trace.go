@@ -9,7 +9,8 @@
 // depends on the previous one, so their misses serialize and become
 // "isolated misses" in the paper's terminology) from streaming loads (no
 // dependences, so their misses overlap inside the instruction window and
-// become "parallel misses").
+// become "parallel misses") — the Figure 1 distinction the whole paper
+// builds on (Section 2).
 package trace
 
 // Kind classifies an instruction for the timing model.

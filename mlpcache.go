@@ -24,12 +24,15 @@
 package mlpcache
 
 import (
+	"io"
+
 	"mlpcache/internal/analytic"
 	"mlpcache/internal/audit"
 	"mlpcache/internal/bpred"
 	"mlpcache/internal/cache"
 	"mlpcache/internal/core"
 	"mlpcache/internal/faultinject"
+	"mlpcache/internal/metrics"
 	"mlpcache/internal/prefetch"
 	"mlpcache/internal/sim"
 	"mlpcache/internal/simerr"
@@ -95,6 +98,38 @@ var (
 	// ErrInternal marks a simulator bug caught at the Run boundary.
 	ErrInternal = simerr.ErrInternal
 )
+
+// Observability: the metrics registry a Result exports (Result.Metrics)
+// and the event-tracing hook (Config.Trace). docs/OBSERVABILITY.md is
+// the catalog and schema contract.
+type (
+	// MetricsRegistry holds a run's named metric set.
+	MetricsRegistry = metrics.Registry
+	// MetricSample is one metric's exported state (a JSONL line).
+	MetricSample = metrics.Sample
+	// RunHeader identifies the run a telemetry document belongs to.
+	RunHeader = metrics.RunHeader
+	// TraceEvent is one traced simulator event.
+	TraceEvent = metrics.Event
+	// Tracer receives simulator events (set Config.Trace).
+	Tracer = metrics.Tracer
+	// RunReport is the single-object run document mlpsim -json prints
+	// (schema "mlpcache.run/v1"): a RunHeader plus every metric sample.
+	RunReport = metrics.Report
+)
+
+// The JSONL/JSON document schema identifiers (each document's "schema"
+// field; see docs/OBSERVABILITY.md).
+const (
+	MetricsSchema = metrics.MetricsSchema
+	EventsSchema  = metrics.EventsSchema
+	ReportSchema  = metrics.ReportSchema
+)
+
+// NewJSONLTracer streams events as JSONL (schema "mlpcache.events/v1").
+func NewJSONLTracer(w io.Writer, hdr RunHeader) *metrics.JSONLTracer {
+	return metrics.NewJSONLTracer(w, hdr)
+}
 
 // Robustness tooling: the invariant auditor's report (Result.Audit when
 // Config.Audit is set) and the fault-injection plan (Config.Faults).
