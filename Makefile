@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet lint docs-check fuzz-smoke bench clean
+.PHONY: tier1 build test race vet lint docs-check fuzz-smoke bench bench-smoke clean
 
 # tier1 is the repo's gate: every PR must leave it green.
-tier1: vet lint docs-check build race fuzz-smoke
+tier1: vet lint docs-check build race fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,17 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-smoke runs the observability and oracle benchmarks once each and
+# fails if either stops being selected — a renamed or deleted benchmark
+# silently vanishes from `go test -bench`, so the output is grepped for
+# both names.
+bench-smoke:
+	@out="$$($(GO) test -bench 'BenchmarkObservability|BenchmarkOracleHeadroom' -benchtime 1x -run '^$$' .)"; \
+	echo "$$out"; \
+	for name in BenchmarkObservability BenchmarkOracleHeadroom; do \
+		echo "$$out" | grep -q "$$name" || { echo "bench-smoke: $$name missing from benchmark output" >&2; exit 1; }; \
+	done
 
 clean:
 	$(GO) clean ./...

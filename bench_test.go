@@ -17,6 +17,7 @@ import (
 	"mlpcache/internal/experiments"
 	"mlpcache/internal/metrics"
 	"mlpcache/internal/mshr"
+	"mlpcache/internal/oracle"
 	"mlpcache/internal/prefetch"
 	"mlpcache/internal/sim"
 	"mlpcache/internal/trace"
@@ -346,6 +347,31 @@ func BenchmarkObservability(b *testing.B) {
 		run(b, metrics.NewJSONLTracer(io.Discard, metrics.RunHeader{Bench: "equake"}), false)
 	})
 	b.Run("metrics", func(b *testing.B) { run(b, nil, true) })
+}
+
+// BenchmarkOracleHeadroom measures the offline oracle pipeline end to
+// end — capture a live LRU run's L2 stream, then replay it under
+// Belady, cost-weighted Belady and EHC at the live geometry — and
+// reports the two headroom percentages (docs/ORACLE.md).
+func BenchmarkOracleHeadroom(b *testing.B) {
+	spec, _ := workload.ByName("art")
+	l2 := sim.DefaultConfig().L2
+	sets, err := l2.SetCount()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cmp oracle.Comparison
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.MaxInstructions = 400_000
+		cap := oracle.NewCapture()
+		cfg.Capture = cap
+		sim.MustRun(cfg, spec.Build(42))
+		cmp = oracle.Compare(cap.Log(), sets, l2.Assoc)
+	}
+	b.ReportMetric(cmp.MissHeadroomPct(), "miss-headroom-%")
+	b.ReportMetric(cmp.CostHeadroomPct(), "cost-headroom-%")
 }
 
 // BenchmarkGeneratorThroughput measures trace generation speed alone.

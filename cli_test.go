@@ -286,24 +286,23 @@ func TestCLIObservability(t *testing.T) {
 	})
 }
 
-// TestExperimentsCommandsRun parses the "Reproducing with metrics
-// export" fenced block of EXPERIMENTS.md and executes every command in
-// it (instruction counts reduced, benchmark set restricted, output
-// paths redirected into the test dir), so the documented reproduction
-// commands cannot rot.
-func TestExperimentsCommandsRun(t *testing.T) {
-	dir := buildTools(t)
+// runDocCommands parses one named section's fenced sh block out of
+// EXPERIMENTS.md and executes every `go run ./cmd/...` line in it
+// (instruction counts reduced, benchmark set restricted, output paths
+// redirected into the test dir), so documented commands cannot rot.
+func runDocCommands(t *testing.T, dir, section string, minCmds int) {
+	t.Helper()
 	raw, err := os.ReadFile("EXPERIMENTS.md")
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, body, found := strings.Cut(string(raw), "## Reproducing with metrics export")
+	_, body, found := strings.Cut(string(raw), "## "+section)
 	if !found {
-		t.Fatal("EXPERIMENTS.md lost its 'Reproducing with metrics export' section")
+		t.Fatalf("EXPERIMENTS.md lost its %q section", section)
 	}
 	_, block, found := strings.Cut(body, "```sh")
 	if !found {
-		t.Fatal("reproduction section lost its fenced command block")
+		t.Fatalf("%q section lost its fenced command block", section)
 	}
 	block, _, _ = strings.Cut(block, "```")
 
@@ -314,8 +313,9 @@ func TestExperimentsCommandsRun(t *testing.T) {
 			cmds = append(cmds, strings.Fields(line))
 		}
 	}
-	if len(cmds) < 5 {
-		t.Fatalf("expected at least 5 documented commands, found %d", len(cmds))
+	if len(cmds) < minCmds {
+		t.Fatalf("expected at least %d documented commands in %q, found %d",
+			minCmds, section, len(cmds))
 	}
 
 	for _, argv := range cmds {
@@ -345,5 +345,139 @@ func TestExperimentsCommandsRun(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestExperimentsCommandsRun executes both documented command blocks of
+// EXPERIMENTS.md: the full reproduction flow and the oracle-headroom
+// section.
+func TestExperimentsCommandsRun(t *testing.T) {
+	dir := buildTools(t)
+	runDocCommands(t, dir, "Reproducing with metrics export", 5)
+	runDocCommands(t, dir, "Measuring oracle headroom", 4)
+}
+
+// TestCLIOracle drives mlpsim -oracle end to end: the text report must
+// carry the oracle section, and -json/-metrics must carry the oracle.*
+// families alongside the run's own metrics.
+func TestCLIOracle(t *testing.T) {
+	dir := buildTools(t)
+
+	t.Run("text-report", func(t *testing.T) {
+		out := runTool(t, dir, "mlpsim", "-bench", "art", "-policy", "lru",
+			"-n", "150000", "-oracle", "-hist=false")
+		for _, want := range []string{"oracle:", "belady", "cost-belady", "ehc", "headroom:"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("-oracle report missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("json-and-metrics", func(t *testing.T) {
+		mPath := filepath.Join(dir, "oracle.metrics.jsonl")
+		out := runTool(t, dir, "mlpsim", "-bench", "mcf", "-n", "120000",
+			"-oracle", "-json", "-metrics", mPath)
+		dec := json.NewDecoder(strings.NewReader(out))
+		dec.DisallowUnknownFields()
+		var rep mlpcache.RunReport
+		if err := dec.Decode(&rep); err != nil {
+			t.Fatalf("strict decode of -oracle -json output: %v\n%s", err, out)
+		}
+		names := map[string]bool{}
+		for _, s := range rep.Metrics {
+			names[s.Name] = true
+		}
+		for _, want := range []string{
+			"oracle.accesses", "oracle.opt.miss", "oracle.costopt.cost", "oracle.headroom.cost_pct",
+		} {
+			if !names[want] {
+				t.Fatalf("-oracle -json report lacks %q (got %d metrics)", want, len(rep.Metrics))
+			}
+		}
+		var mh mlpcache.RunHeader
+		n := strictJSONLines(t, mPath, &mh, func() any { return new(mlpcache.MetricSample) })
+		if n == 0 {
+			t.Fatal("-oracle -metrics wrote no samples")
+		}
+	})
+}
+
+// TestCLITraceEventFilter checks the sampling/filter flags at the
+// process boundary: the filtered stream contains only the requested
+// types (plus run boundaries), sampling shrinks it, and an unknown
+// filter token fails with a diagnostic instead of a panic.
+func TestCLITraceEventFilter(t *testing.T) {
+	dir := buildTools(t)
+
+	countTypes := func(path string) (map[string]int, int) {
+		t.Helper()
+		var hdr mlpcache.RunHeader
+		types := map[string]int{}
+		n := 0
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(bytes.NewReader(raw))
+		sc.Buffer(make([]byte, 1<<16), 1<<20)
+		if !sc.Scan() {
+			t.Fatalf("%s: empty document", path)
+		}
+		if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+			t.Fatal(err)
+		}
+		for sc.Scan() {
+			var ev mlpcache.TraceEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatal(err)
+			}
+			types[string(ev.Type)]++
+			n++
+		}
+		return types, n
+	}
+
+	full := filepath.Join(dir, "full.events.jsonl")
+	runTool(t, dir, "mlpsim", "-bench", "mcf", "-n", "150000", "-hist=false",
+		"-trace-events", full)
+	_, nFull := countTypes(full)
+
+	filtered := filepath.Join(dir, "filtered.events.jsonl")
+	runTool(t, dir, "mlpsim", "-bench", "mcf", "-n", "150000", "-hist=false",
+		"-trace-events", filtered, "-trace-events-sample", "10", "-trace-events-filter", "miss.fill")
+	types, nFiltered := countTypes(filtered)
+	if nFiltered == 0 {
+		t.Fatal("filtered stream is empty")
+	}
+	if nFiltered*5 > nFull {
+		t.Fatalf("sampling did not shrink the stream: %d of %d events kept", nFiltered, nFull)
+	}
+	for ty := range types {
+		if ty != "miss.fill" && ty != "run.start" {
+			t.Fatalf("filtered stream leaked type %q", ty)
+		}
+	}
+
+	cmd := exec.Command(filepath.Join(dir, "mlpsim"), "-bench", "mcf", "-n", "1000",
+		"-trace-events", filepath.Join(dir, "x.jsonl"), "-trace-events-filter", "bogus")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown filter token accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "bogus") || strings.Contains(string(out), "panic:") {
+		t.Fatalf("bad diagnostic for unknown filter token:\n%s", out)
+	}
+}
+
+// TestCLIWorkers checks mlpexp -workers produces the same table at any
+// setting.
+func TestCLIWorkers(t *testing.T) {
+	dir := buildTools(t)
+	serial := runTool(t, dir, "mlpexp", "-run", "fig9", "-bench", "mcf,parser",
+		"-n", "60000", "-workers", "1")
+	parallel := runTool(t, dir, "mlpexp", "-run", "fig9", "-bench", "mcf,parser",
+		"-n", "60000", "-workers", "4")
+	if serial != parallel {
+		t.Fatalf("-workers changed the output:\nserial:\n%s\nparallel:\n%s", serial, parallel)
 	}
 }

@@ -28,13 +28,16 @@ import (
 
 func main() {
 	var (
-		run         = flag.String("run", "all", "comma-separated experiment ids: fig1..fig11, tab1..tab3, ovh, sens-mem, sens-cache, sens-mshr, sens-window, all, sens")
+		run         = flag.String("run", "all", "comma-separated experiment ids: fig1..fig11, tab1..tab3, ovh, oracle-headroom, sens-mem, sens-cache, sens-mshr, sens-window, all, sens")
 		n           = flag.Uint64("n", 3_000_000, "instructions per simulation run")
 		seed        = flag.Uint64("seed", 42, "workload seed")
 		bench       = flag.String("bench", "", "comma-separated benchmark subset (default: all 14)")
+		workers     = flag.Int("workers", 0, "concurrent simulations per experiment (0: GOMAXPROCS, 1: serial)")
 		format      = flag.String("format", "text", "output format: text, csv or json")
 		metricsPath = flag.String("metrics", "", "append each fresh run's metric set as JSONL (mlpcache.metrics/v1) to this file")
 		eventsPath  = flag.String("trace-events", "", "stream simulator events as JSONL (mlpcache.events/v1) to this file")
+		evSample    = flag.Uint64("trace-events-sample", 0, "keep every Nth traced event (0 or 1: all; run.start always kept)")
+		evFilter    = flag.String("trace-events-filter", "", "comma-separated event types to trace, e.g. miss,victim (empty: all; run.start always kept)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -55,6 +58,7 @@ func main() {
 	if *bench != "" {
 		r.Benchmarks = strings.Split(*bench, ",")
 	}
+	r.Workers = *workers
 
 	var metricsFile *os.File
 	if *metricsPath != "" {
@@ -79,6 +83,13 @@ func main() {
 		}
 		tracer = metrics.NewJSONLTracer(eventsFile, metrics.RunHeader{Seed: *seed})
 		r.Trace = tracer
+		if *evSample > 1 || *evFilter != "" {
+			types, err := metrics.ParseEventFilter(*evFilter)
+			if err != nil {
+				fatal("trace-events-filter: %v", err)
+			}
+			r.Trace = metrics.NewFilterTracer(tracer, *evSample, types)
+		}
 	}
 
 	ids := strings.Split(*run, ",")

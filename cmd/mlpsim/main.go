@@ -14,6 +14,7 @@
 //	mlpsim -bench mcf -policy lin -lambda 4 -n 2000000
 //	mlpsim -bench ammp -policy sbar -leaders 32 -n 4000000 -series
 //	mlpsim -bench mcf -json -metrics out.jsonl -trace-events ev.jsonl
+//	mlpsim -bench mcf -policy lru -oracle
 //	mlpsim -list
 package main
 
@@ -26,6 +27,7 @@ import (
 
 	"mlpcache/internal/bpred"
 	"mlpcache/internal/metrics"
+	"mlpcache/internal/oracle"
 	"mlpcache/internal/prefetch"
 	"mlpcache/internal/prof"
 	"mlpcache/internal/sim"
@@ -55,6 +57,9 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "print a machine-readable run report (mlpcache.run/v1) instead of text")
 		metricsPath = flag.String("metrics", "", "write the run's metric set as JSONL (mlpcache.metrics/v1) to this file")
 		eventsPath  = flag.String("trace-events", "", "stream simulator events as JSONL (mlpcache.events/v1) to this file")
+		evSample    = flag.Uint64("trace-events-sample", 0, "keep every Nth traced event (0 or 1: all; run.start always kept)")
+		evFilter    = flag.String("trace-events-filter", "", "comma-separated event types to trace, e.g. miss,victim (empty: all; run.start always kept)")
+		oracleFlag  = flag.Bool("oracle", false, "capture the L2 access stream and report offline oracle headroom (Belady, cost-weighted Belady, EHC)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -143,11 +148,37 @@ func main() {
 			Bench: *bench, Policy: cfg.Policy.String(), Seed: *seed,
 		})
 		cfg.Trace = tracer
+		if *evSample > 1 || *evFilter != "" {
+			types, err := metrics.ParseEventFilter(*evFilter)
+			if err != nil {
+				fatal(2, "trace-events-filter: %v", err)
+			}
+			cfg.Trace = metrics.NewFilterTracer(tracer, *evSample, types)
+		}
+	}
+
+	var capture *oracle.Capture
+	if *oracleFlag {
+		capture = oracle.NewCapture()
+		cfg.Capture = capture
 	}
 
 	res, err := sim.Run(cfg, src)
 	if err != nil {
 		fatal(1, "%v", err)
+	}
+
+	// One registry serves the -metrics file and the -json report; the
+	// oracle comparison injects its families into the same set.
+	reg := res.Metrics()
+	var cmp oracle.Comparison
+	if capture != nil {
+		sets, err := cfg.L2.SetCount()
+		if err != nil {
+			fatal(1, "%v", err)
+		}
+		cmp = oracle.Compare(capture.Log(), sets, cfg.L2.Assoc)
+		cmp.Observe(reg)
 	}
 
 	if tracer != nil {
@@ -163,7 +194,7 @@ func main() {
 		if err != nil {
 			fatal(1, "%v", err)
 		}
-		if err := res.Metrics().WriteJSONL(f, res.Header(*bench, *seed)); err != nil {
+		if err := reg.WriteJSONL(f, res.Header(*bench, *seed)); err != nil {
 			f.Close()
 			fatal(1, "metrics: %v", err)
 		}
@@ -173,7 +204,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		report := res.Metrics().BuildReport(res.Header(*bench, *seed))
+		report := reg.BuildReport(res.Header(*bench, *seed))
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -181,12 +212,28 @@ func main() {
 		}
 	} else {
 		printReport(res, benchLabel, *hist)
+		if capture != nil {
+			printOracle(cmp)
+		}
 	}
 
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "mlpsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// printOracle renders the offline oracle comparison to stdout.
+func printOracle(cmp oracle.Comparison) {
+	fmt.Printf("oracle: %d captured accesses replayed at %dx%d\n",
+		cmp.Accesses, cmp.Sets, cmp.Assoc)
+	fmt.Printf("  %-12s %10s %12s\n", "", "misses", "cost_q sum")
+	fmt.Printf("  %-12s %10d %12d\n", "live", cmp.LiveMisses, cmp.LiveCost)
+	for _, r := range []oracle.Result{cmp.EHC, cmp.OPT, cmp.CostOPT} {
+		fmt.Printf("  %-12s %10d %12d\n", r.Name, r.Misses, r.CostQSum)
+	}
+	fmt.Printf("  headroom: %.1f%% of misses (vs belady), %.1f%% of cost (vs cost-belady)\n",
+		cmp.MissHeadroomPct(), cmp.CostHeadroomPct())
 }
 
 // printReport renders the human-readable run report to stdout.

@@ -5,6 +5,9 @@ package cache
 // the theoretical minimum miss count the paper's Figure 1 contrasts with
 // MLP-aware replacement; the offline LRU simulation provides the matching
 // online baseline for miss-count comparisons that do not need timing.
+// internal/oracle generalizes this engine to streams captured from live
+// runs, with per-access cost weights (oracle.Belady reproduces
+// SimulateOPT exactly on bare block streams — a golden test enforces it).
 
 import "mlpcache/internal/simerr"
 

@@ -30,18 +30,18 @@ var cbsBenches = []string{"art", "ammp", "mcf", "parser"}
 // CBSComparison runs the three hybrids on the focus benchmarks.
 func CBSComparison(r *Runner) CBSComparisonResult {
 	var out CBSComparisonResult
-	for _, b := range cbsBenches {
+	out.Rows = forBenches(r, cbsBenches, func(b string) CBSComparisonRow {
 		base := r.Baseline(b)
 		sbar := r.Run(b, sim.PolicySpec{Kind: sim.PolicySBAR})
 		global := r.Run(b, sim.PolicySpec{Kind: sim.PolicyCBSGlobal})
 		local := r.Run(b, sim.PolicySpec{Kind: sim.PolicyCBSLocal})
-		out.Rows = append(out.Rows, CBSComparisonRow{
+		return CBSComparisonRow{
 			Bench:        b,
 			SBARPct:      sbar.IPCDeltaPercent(base),
 			CBSGlobalPct: global.IPCDeltaPercent(base),
 			CBSLocalPct:  local.IPCDeltaPercent(base),
-		})
-	}
+		}
+	})
 	return out
 }
 

@@ -24,16 +24,16 @@ type Figure2Row struct {
 // Figure2 reproduces Figure 2.
 func Figure2(r *Runner) Figure2Result {
 	var out Figure2Result
-	for _, b := range r.Names() {
+	out.Rows = forBenches(r, r.Names(), func(b string) Figure2Row {
 		base := r.Baseline(b)
-		out.Rows = append(out.Rows, Figure2Row{
+		return Figure2Row{
 			Bench:   b,
 			Percent: base.CostHist.Percent(),
 			Mean:    base.CostHist.Mean(),
 			Misses:  base.CostHist.Total(),
 			Spark:   base.CostHist.Sparkline(),
-		})
-	}
+		}
+	})
 	return out
 }
 
@@ -90,17 +90,17 @@ func (r Table1Row) HighDelta() bool { return r.Lt60 < 50 || r.Mean >= 100 }
 // Table1 reproduces Table 1.
 func Table1(r *Runner) Table1Result {
 	var out Table1Result
-	for _, b := range r.Names() {
+	out.Rows = forBenches(r, r.Names(), func(b string) Table1Row {
 		base := r.Baseline(b)
 		d := base.Delta
-		out.Rows = append(out.Rows, Table1Row{
+		return Table1Row{
 			Bench: b,
 			Lt60:  d.PercentLt60(), Ge60Lt120: d.PercentGe60Lt120(), Ge120: d.PercentGe120(),
 			Mean:      d.Mean(),
 			Paper:     paperTable1[b],
 			PaperMean: paperAvgDelta[b],
-		})
-	}
+		}
+	})
 	return out
 }
 
@@ -152,18 +152,18 @@ type Table3Row struct {
 // *ordering*, noted in the rendering.
 func Table3(r *Runner) Table3Result {
 	out := Table3Result{Instructions: r.Instructions}
-	for _, b := range r.Names() {
+	out.Rows = forBenches(r, r.Names(), func(b string) Table3Row {
 		spec, _ := workload.ByName(b)
 		base := r.Baseline(b)
-		out.Rows = append(out.Rows, Table3Row{
+		return Table3Row{
 			Bench: b, Class: spec.Class,
 			L2Misses:        base.Mem.DemandMisses,
 			MPKI:            base.MPKI(),
 			CompulsoryPct:   base.CompulsoryPercent(),
 			PaperCompulsory: paperCompulsory[b],
 			IPC:             base.IPC,
-		})
-	}
+		}
+	})
 	return out
 }
 

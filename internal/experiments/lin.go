@@ -22,15 +22,15 @@ type Figure4Row struct {
 // from 1 to 4".
 func Figure4(r *Runner) Figure4Result {
 	res := Figure4Result{Lambdas: []int{1, 2, 3, 4}}
-	for _, b := range r.Names() {
+	res.Rows = forBenches(r, r.Names(), func(b string) Figure4Row {
 		base := r.Baseline(b)
 		row := Figure4Row{Bench: b}
 		for _, l := range res.Lambdas {
 			lin := r.Run(b, sim.PolicySpec{Kind: sim.PolicyLIN, Lambda: l})
 			row.IPCDelta = append(row.IPCDelta, lin.IPCDeltaPercent(base))
 		}
-		res.Rows = append(res.Rows, row)
-	}
+		return row
+	})
 	return res
 }
 
@@ -82,11 +82,11 @@ func (r Figure5Row) DirectionsAgree() bool {
 // LIN(λ=4) with the miss/IPC change insets.
 func Figure5(r *Runner) Figure5Result {
 	var out Figure5Result
-	for _, b := range r.Names() {
+	out.Rows = forBenches(r, r.Names(), func(b string) Figure5Row {
 		spec, _ := workload.ByName(b)
 		base := r.Baseline(b)
 		lin := r.Run(b, sim.PolicySpec{Kind: sim.PolicyLIN, Lambda: 4})
-		out.Rows = append(out.Rows, Figure5Row{
+		return Figure5Row{
 			Bench:        b,
 			MissDeltaPct: lin.MissDeltaPercent(base),
 			IPCDeltaPct:  lin.IPCDeltaPercent(base),
@@ -96,8 +96,8 @@ func Figure5(r *Runner) Figure5Result {
 			LinPct:       lin.CostHist.Percent(),
 			BaseAvg:      base.CostHist.Mean(),
 			LinAvg:       lin.CostHist.Mean(),
-		})
-	}
+		}
+	})
 	return out
 }
 

@@ -17,6 +17,7 @@ func AllIDs() []string {
 	return []string{
 		"fig1", "fig2", "tab1", "tab2", "tab3", "fig3b",
 		"fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "ovh",
+		"oracle-headroom",
 	}
 }
 
@@ -70,6 +71,8 @@ func resolve(r *Runner, id string) (renderable, error) {
 		res = Figure11(r)
 	case "ovh":
 		res = OverheadReport()
+	case "oracle-headroom":
+		res = OracleHeadroom(r)
 	case "sens-mem":
 		res = SensitivityMemLatency(r)
 	case "sens-cache":

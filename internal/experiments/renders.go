@@ -52,3 +52,6 @@ func (f StabilityResult) Render(w io.Writer) { f.table().Render(w) }
 
 // Render writes the paper-style text table.
 func (f CBSComparisonResult) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f OracleHeadroomResult) Render(w io.Writer) { f.table().Render(w) }

@@ -3,16 +3,19 @@
 // distributions, the Table 1 delta statistics, the Table 3 benchmark
 // summary, the LIN sweeps of Figures 4 and 5, the sampling analysis of
 // Figure 8, the SBAR results of Figures 9 and 10, the ammp case study of
-// Figure 11, and the storage-overhead accounting. Each experiment returns
+// Figure 11, the storage-overhead accounting, and the oracle-headroom
+// comparison against offline Belady replays. Each experiment returns
 // structured data and renders a paper-style text table.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
 	"mlpcache/internal/metrics"
+	"mlpcache/internal/oracle"
 	"mlpcache/internal/sim"
 	"mlpcache/internal/simerr"
 	"mlpcache/internal/workload"
@@ -20,7 +23,9 @@ import (
 
 // Runner executes benchmark×policy simulations with memoization, since
 // the experiments share many configurations (every figure needs the LRU
-// baseline, for instance).
+// baseline, for instance). Per-benchmark work fans out over a worker
+// pool (see Workers); the memo table is safe for concurrent use and
+// duplicate in-flight configurations are coalesced into one simulation.
 type Runner struct {
 	// Instructions is the per-run instruction budget. The paper uses
 	// 250M-instruction SimPoint slices; the synthetic workloads reach
@@ -34,18 +39,32 @@ type Runner struct {
 	// Benchmarks restricts the benchmark set (nil: all 14).
 	Benchmarks []string
 
+	// Workers caps how many simulations run concurrently when an
+	// experiment fans out across benchmarks: 0 means GOMAXPROCS, 1
+	// forces serial execution. Results are identical at any setting —
+	// simulations are independent and memoized under a lock — and
+	// telemetry framing is preserved (see below).
+	Workers int
+
 	// Trace, when non-nil, is installed as every fresh simulation's
 	// event tracer; a "run.start" boundary event (Label=benchmark,
-	// Policy=spec) precedes each run's stream. Memoized replays emit
+	// Policy=spec) precedes each run's stream. When runs execute
+	// concurrently each run's events are buffered and replayed as one
+	// contiguous block behind its run.start, so the framing downstream
+	// consumers split on survives parallelism. Memoized replays emit
 	// nothing — their events were already streamed.
 	Trace metrics.Tracer
 	// OnResult, when non-nil, observes every fresh (non-memoized)
 	// simulation's result; mlpexp uses it to append per-run metrics
-	// documents to a JSONL file.
+	// documents to a JSONL file. Calls are serialized.
 	OnResult func(bench string, spec sim.PolicySpec, res sim.Result)
 
-	mu    sync.Mutex
-	cache map[string]sim.Result
+	mu       sync.Mutex
+	cache    map[string]sim.Result
+	logs     map[string]*oracle.Log
+	inflight map[string]chan struct{}
+	// outMu serializes Trace/OnResult emission across worker goroutines.
+	outMu sync.Mutex
 }
 
 // NewRunner returns a Runner with the given per-run instruction budget.
@@ -54,6 +73,8 @@ func NewRunner(instructions, seed uint64) *Runner {
 		Instructions: instructions,
 		Seed:         seed,
 		cache:        make(map[string]sim.Result),
+		logs:         make(map[string]*oracle.Log),
+		inflight:     make(map[string]chan struct{}),
 	}
 }
 
@@ -72,6 +93,9 @@ func (r *Runner) Validate() error {
 	if r.Instructions == 0 {
 		return simerr.New(simerr.ErrBadConfig, "experiments: instruction budget must be positive")
 	}
+	if r.Workers < 0 {
+		return simerr.New(simerr.ErrBadConfig, "experiments: workers must be >= 0, got %d", r.Workers)
+	}
 	return nil
 }
 
@@ -81,6 +105,48 @@ func (r *Runner) Names() []string {
 		return r.Benchmarks
 	}
 	return workload.Names()
+}
+
+// workers resolves the effective pool size.
+func (r *Runner) workers() int {
+	if r.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if r.Workers < 1 {
+		return 1
+	}
+	return r.Workers
+}
+
+// forBenches maps fn over the benchmarks on the runner's worker pool,
+// preserving input order in the result slice. With one worker it
+// degenerates to a plain loop. (A package function rather than a method
+// because methods cannot take type parameters.)
+func forBenches[T any](r *Runner, benches []string, fn func(bench string) T) []T {
+	out := make([]T, len(benches))
+	n := r.workers()
+	if n > len(benches) {
+		n = len(benches)
+	}
+	if n <= 1 {
+		for i, b := range benches {
+			out[i] = fn(b)
+		}
+		return out
+	}
+	sem := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = fn(b)
+		}(i, b)
+	}
+	wg.Wait()
+	return out
 }
 
 // Run simulates one benchmark under one policy, memoized.
@@ -98,14 +164,81 @@ func (r *Runner) RunEpoch(bench string, spec sim.PolicySpec, epoch uint64) sim.R
 	return r.run(bench, spec, 0, epoch)
 }
 
-func (r *Runner) run(bench string, spec sim.PolicySpec, interval, epoch uint64) sim.Result {
-	key := fmt.Sprintf("%s|%+v|%d|%d|%d|%d", bench, spec, r.Instructions, r.Seed, interval, epoch)
+func (r *Runner) key(bench string, spec sim.PolicySpec, interval, epoch uint64) string {
+	return fmt.Sprintf("%s|%+v|%d|%d|%d|%d", bench, spec, r.Instructions, r.Seed, interval, epoch)
+}
+
+// claim resolves key against the memo table: a cached result returns
+// (res, nil, false); an in-flight run returns its done channel to wait
+// on; otherwise the caller becomes the owner and must call finish.
+func (r *Runner) claim(key string) (res sim.Result, wait chan struct{}, owner bool) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return res
+		return res, nil, false
 	}
+	if ch, ok := r.inflight[key]; ok {
+		return sim.Result{}, ch, false
+	}
+	if r.inflight == nil {
+		r.inflight = make(map[string]chan struct{})
+	}
+	ch := make(chan struct{})
+	r.inflight[key] = ch
+	return sim.Result{}, ch, true
+}
+
+// finish publishes an owned run's result and releases waiters.
+func (r *Runner) finish(key string, res sim.Result, ch chan struct{}, log *oracle.Log) {
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]sim.Result)
+	}
+	r.cache[key] = res
+	if log != nil {
+		if r.logs == nil {
+			r.logs = make(map[string]*oracle.Log)
+		}
+		r.logs[key] = log
+	}
+	delete(r.inflight, key)
 	r.mu.Unlock()
+	close(ch)
+}
+
+func (r *Runner) run(bench string, spec sim.PolicySpec, interval, epoch uint64) sim.Result {
+	key := r.key(bench, spec, interval, epoch)
+	for {
+		res, wait, owner := r.claim(key)
+		if owner {
+			res = r.simulate(bench, spec, interval, epoch, nil, false)
+			r.finish(key, res, r.inflightChan(key), nil)
+			return res
+		}
+		if wait == nil {
+			return res
+		}
+		<-wait
+	}
+}
+
+// inflightChan re-fetches the owner's done channel (claim registered it).
+func (r *Runner) inflightChan(key string) chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inflight[key]
+}
+
+// bufTracer collects one concurrent run's events for contiguous replay.
+type bufTracer struct{ events []metrics.Event }
+
+func (b *bufTracer) Emit(ev metrics.Event) { b.events = append(b.events, ev) }
+
+// simulate executes one fresh simulation. silent suppresses Trace and
+// OnResult — used when a memoized result is re-run only to capture its
+// access stream, whose telemetry was already emitted the first time.
+func (r *Runner) simulate(bench string, spec sim.PolicySpec, interval, epoch uint64,
+	capture sim.AccessObserver, silent bool) sim.Result {
 
 	w, ok := workload.ByName(bench)
 	if !ok {
@@ -117,21 +250,86 @@ func (r *Runner) run(bench string, spec sim.PolicySpec, interval, epoch uint64) 
 	cfg.Policy = spec
 	cfg.SampleInterval = interval
 	cfg.EpochInstructions = epoch
-	if r.Trace != nil {
-		r.Trace.Emit(metrics.Event{
-			Type: metrics.EventRunStart, Label: bench, Policy: spec.String(),
-		})
-		cfg.Trace = r.Trace
+	cfg.Capture = capture
+
+	trace := r.Trace
+	onResult := r.OnResult
+	if silent {
+		trace, onResult = nil, nil
 	}
-	res := sim.MustRun(cfg, w.Build(r.Seed))
-	if r.OnResult != nil {
-		r.OnResult(bench, spec, res)
+	start := metrics.Event{Type: metrics.EventRunStart, Label: bench, Policy: spec.String()}
+
+	if r.workers() > 1 {
+		// Buffer events so concurrent runs' streams don't interleave;
+		// replay them contiguously behind run.start under the output
+		// lock, and serialize OnResult with them.
+		var buf *bufTracer
+		if trace != nil {
+			buf = &bufTracer{}
+			cfg.Trace = buf
+		}
+		res := sim.MustRun(cfg, w.Build(r.Seed))
+		if trace != nil || onResult != nil {
+			r.outMu.Lock()
+			defer r.outMu.Unlock()
+			if trace != nil {
+				trace.Emit(start)
+				for _, ev := range buf.events {
+					trace.Emit(ev)
+				}
+			}
+			if onResult != nil {
+				onResult(bench, spec, res)
+			}
+		}
+		return res
 	}
 
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
+	if trace != nil {
+		trace.Emit(start)
+		cfg.Trace = trace
+	}
+	res := sim.MustRun(cfg, w.Build(r.Seed))
+	if onResult != nil {
+		onResult(bench, spec, res)
+	}
 	return res
+}
+
+// RunCaptured is Run with an oracle capture sink attached: it returns
+// the result plus the captured access log, both memoized. If the plain
+// result is already cached but no log exists yet, the simulation re-runs
+// silently (no Trace events, no OnResult call) purely to record the
+// stream — the run is deterministic, so the result is identical and its
+// telemetry must not be emitted twice.
+func (r *Runner) RunCaptured(bench string, spec sim.PolicySpec) (sim.Result, *oracle.Log) {
+	key := r.key(bench, spec, 0, 0)
+	for {
+		r.mu.Lock()
+		if log, ok := r.logs[key]; ok {
+			res := r.cache[key]
+			r.mu.Unlock()
+			return res, log
+		}
+		_, cached := r.cache[key]
+		if ch, busy := r.inflight[key]; busy {
+			r.mu.Unlock()
+			<-ch
+			continue
+		}
+		if r.inflight == nil {
+			r.inflight = make(map[string]chan struct{})
+		}
+		ch := make(chan struct{})
+		r.inflight[key] = ch
+		r.mu.Unlock()
+
+		cap := oracle.NewCapture()
+		res := r.simulate(bench, spec, 0, 0, cap, cached)
+		log := cap.Log()
+		r.finish(key, res, ch, log)
+		return res, log
+	}
 }
 
 // Baseline returns the benchmark's LRU result.

@@ -23,16 +23,16 @@ type Figure9Row struct {
 // Figure9 reproduces Figure 9.
 func Figure9(r *Runner) Figure9Result {
 	var out Figure9Result
-	for _, b := range r.Names() {
+	out.Rows = forBenches(r, r.Names(), func(b string) Figure9Row {
 		base := r.Baseline(b)
 		lin := r.Run(b, sim.PolicySpec{Kind: sim.PolicyLIN, Lambda: 4})
 		sbar := r.Run(b, sim.PolicySpec{Kind: sim.PolicySBAR})
-		out.Rows = append(out.Rows, Figure9Row{
+		return Figure9Row{
 			Bench:        b,
 			LINDeltaPct:  lin.IPCDeltaPercent(base),
 			SBARDeltaPct: sbar.IPCDeltaPercent(base),
-		})
-	}
+		}
+	})
 	return out
 }
 
@@ -77,7 +77,7 @@ func Figure10(r *Runner) Figure10Result {
 		)
 	}
 	epoch := r.Instructions / 10
-	for _, b := range r.Names() {
+	res.Rows = forBenches(r, r.Names(), func(b string) Figure10Row {
 		base := r.Baseline(b)
 		row := Figure10Row{Bench: b}
 		for _, cfg := range res.Configs {
@@ -94,8 +94,8 @@ func Figure10(r *Runner) Figure10Result {
 			}
 			row.DeltaPct = append(row.DeltaPct, out.IPCDeltaPercent(base))
 		}
-		res.Rows = append(res.Rows, row)
-	}
+		return row
+	})
 	return res
 }
 

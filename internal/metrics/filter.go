@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AllEventTypes lists every traced event type, in emission-doc order.
+func AllEventTypes() []EventType {
+	return []EventType{
+		EventMissIssue, EventMissMerge, EventMissFill,
+		EventVictim, EventPselUpdate, EventSBARLeader, EventRunStart,
+	}
+}
+
+// FilterTracer wraps another tracer with type filtering and every-Nth
+// sampling, so long traced runs stay tractable (the -trace-events-sample
+// and -trace-events-filter CLI flags). Run-boundary events
+// (EventRunStart) always pass through unfiltered and unsampled —
+// dropping them would break the per-run framing downstream consumers
+// split event streams on — and do not advance the sample counter.
+type FilterTracer struct {
+	dst    Tracer
+	sample uint64
+	allow  map[EventType]bool // nil: all types allowed
+
+	seen, kept uint64
+}
+
+// NewFilterTracer wraps dst. sample keeps every sample-th matching event
+// (0 or 1: keep all); types restricts to the given set (empty: all).
+func NewFilterTracer(dst Tracer, sample uint64, types []EventType) *FilterTracer {
+	t := &FilterTracer{dst: dst, sample: sample}
+	if len(types) > 0 {
+		t.allow = make(map[EventType]bool, len(types))
+		for _, ty := range types {
+			t.allow[ty] = true
+		}
+	}
+	return t
+}
+
+// Emit implements Tracer.
+func (t *FilterTracer) Emit(ev Event) {
+	if ev.Type == EventRunStart {
+		t.dst.Emit(ev)
+		return
+	}
+	if t.allow != nil && !t.allow[ev.Type] {
+		return
+	}
+	t.seen++
+	if t.sample > 1 && (t.seen-1)%t.sample != 0 {
+		return
+	}
+	t.kept++
+	t.dst.Emit(ev)
+}
+
+// Seen returns how many non-boundary events matched the type filter;
+// Kept how many of those survived sampling.
+func (t *FilterTracer) Seen() uint64 { return t.seen }
+
+// Kept returns the number of events forwarded to the wrapped tracer
+// (excluding run boundaries).
+func (t *FilterTracer) Kept() uint64 { return t.kept }
+
+// ParseEventFilter parses a comma-separated event-type list into types
+// for NewFilterTracer. A token may be a full type name ("miss.fill") or
+// a family prefix ("miss" expands to every miss.* type). Unknown tokens
+// are an error listing the valid names.
+func ParseEventFilter(spec string) ([]EventType, error) {
+	var out []EventType
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		matched := false
+		for _, ty := range AllEventTypes() {
+			name := string(ty)
+			if name == tok || strings.SplitN(name, ".", 2)[0] == tok {
+				out = append(out, ty)
+				matched = true
+			}
+		}
+		if !matched {
+			var names []string
+			for _, ty := range AllEventTypes() {
+				names = append(names, string(ty))
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("unknown event type %q (valid: %s, or a family prefix like \"miss\")",
+				tok, strings.Join(names, ", "))
+		}
+	}
+	return out, nil
+}

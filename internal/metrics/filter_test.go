@@ -1,0 +1,87 @@
+package metrics
+
+import "testing"
+
+func collect() (*[]Event, Tracer) {
+	var got []Event
+	return &got, FuncTracer(func(ev Event) { got = append(got, ev) })
+}
+
+func TestFilterTracerTypes(t *testing.T) {
+	got, dst := collect()
+	ft := NewFilterTracer(dst, 0, []EventType{EventMissFill})
+	ft.Emit(Event{Type: EventMissIssue})
+	ft.Emit(Event{Type: EventMissFill, CostQ: 3})
+	ft.Emit(Event{Type: EventVictim})
+	ft.Emit(Event{Type: EventMissFill, CostQ: 5})
+	if len(*got) != 2 || (*got)[0].CostQ != 3 || (*got)[1].CostQ != 5 {
+		t.Fatalf("type filter kept %v", *got)
+	}
+	if ft.Seen() != 2 || ft.Kept() != 2 {
+		t.Fatalf("counters seen=%d kept=%d, want 2/2", ft.Seen(), ft.Kept())
+	}
+}
+
+func TestFilterTracerSampling(t *testing.T) {
+	got, dst := collect()
+	ft := NewFilterTracer(dst, 3, nil)
+	for i := 0; i < 10; i++ {
+		ft.Emit(Event{Type: EventMissIssue, Cycle: uint64(i)})
+	}
+	// Every 3rd starting with the first: cycles 0, 3, 6, 9.
+	if len(*got) != 4 {
+		t.Fatalf("sample=3 over 10 events kept %d, want 4", len(*got))
+	}
+	for i, want := range []uint64{0, 3, 6, 9} {
+		if (*got)[i].Cycle != want {
+			t.Fatalf("kept cycles %v, want 0,3,6,9", *got)
+		}
+	}
+	if ft.Seen() != 10 || ft.Kept() != 4 {
+		t.Fatalf("counters seen=%d kept=%d, want 10/4", ft.Seen(), ft.Kept())
+	}
+}
+
+func TestFilterTracerRunStartAlwaysPasses(t *testing.T) {
+	got, dst := collect()
+	// Harshest settings: heavy sampling plus a filter excluding run.start.
+	ft := NewFilterTracer(dst, 1000, []EventType{EventVictim})
+	for i := 0; i < 5; i++ {
+		ft.Emit(Event{Type: EventRunStart, Label: "mcf"})
+		ft.Emit(Event{Type: EventMissIssue})
+		ft.Emit(Event{Type: EventVictim})
+	}
+	var starts int
+	for _, ev := range *got {
+		if ev.Type == EventRunStart {
+			starts++
+		}
+	}
+	if starts != 5 {
+		t.Fatalf("run.start framing not preserved: %d of 5 boundaries kept", starts)
+	}
+}
+
+func TestParseEventFilter(t *testing.T) {
+	types, err := ParseEventFilter("miss,victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[EventType]bool{
+		EventMissIssue: true, EventMissMerge: true, EventMissFill: true, EventVictim: true,
+	}
+	if len(types) != len(want) {
+		t.Fatalf("ParseEventFilter(miss,victim) = %v, want the 3 miss.* types plus victim", types)
+	}
+	for _, ty := range types {
+		if !want[ty] {
+			t.Fatalf("unexpected type %q in %v", ty, types)
+		}
+	}
+	if _, err := ParseEventFilter("miss.fill, sbar.leader"); err != nil {
+		t.Fatalf("exact names rejected: %v", err)
+	}
+	if _, err := ParseEventFilter("bogus"); err == nil {
+		t.Fatal("unknown token accepted")
+	}
+}

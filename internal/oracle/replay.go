@@ -1,0 +1,252 @@
+package oracle
+
+// Offline replays over a captured Log. Every replay maps block b to set
+// b % sets — the live L2's default indexer — and charges an access its
+// Record.CostQ when it misses, so the replays and the live run are
+// scored in the same currency: miss count and summed quantized mlp-cost
+// (the paper's Section 2 objective). Sets are independent under this
+// mapping, so each replay runs per set and sums.
+
+import (
+	"mlpcache/internal/cache"
+	"mlpcache/internal/simerr"
+)
+
+// Result summarizes one replay of a log.
+type Result struct {
+	// Name labels the replayed policy ("belady", "cost-belady", "ehc",
+	// or the online policy's own name).
+	Name string
+	// Accesses is the replayed access count (== Log.Accesses()).
+	Accesses uint64
+	// Misses counts replay misses.
+	Misses uint64
+	// CostQSum sums Record.CostQ over replay misses.
+	CostQSum uint64
+}
+
+// never is the next-use sentinel: the block is not referenced again.
+const never = int(^uint(0) >> 1)
+
+// splitSets partitions record indices by home set (block % sets).
+func splitSets(log *Log, sets int) [][]int {
+	if sets <= 0 {
+		panic(simerr.New(simerr.ErrBadConfig, "oracle: sets must be positive, got %d", sets))
+	}
+	bySet := make([][]int, sets)
+	for i, rec := range log.Records {
+		s := int(rec.Block % uint64(sets))
+		bySet[s] = append(bySet[s], i)
+	}
+	return bySet
+}
+
+// nextUses computes, for each position p in the per-set index list idx,
+// the position (within idx) of the next access to the same block, or
+// never.
+func nextUses(log *Log, idx []int) []int {
+	next := make([]int, len(idx))
+	last := make(map[uint64]int, len(idx))
+	for p := len(idx) - 1; p >= 0; p-- {
+		b := log.Records[idx[p]].Block
+		if q, ok := last[b]; ok {
+			next[p] = q
+		} else {
+			next[p] = never
+		}
+		last[b] = p
+	}
+	return next
+}
+
+// resident is one line of a replayed set.
+type resident struct {
+	block uint64
+	next  int // position (within the set's index list) of the next use
+}
+
+// replaySet runs one set's subsequence under a victim rule and
+// accumulates misses and cost into res. victim picks the way to evict
+// from a full set given the current position p.
+func replaySet(log *Log, idx, next []int, assoc int, res *Result,
+	victim func(lines []resident, p int) int) {
+
+	lines := make([]resident, 0, assoc)
+	for p, i := range idx {
+		rec := log.Records[i]
+		found := -1
+		for w := range lines {
+			if lines[w].block == rec.Block {
+				found = w
+				break
+			}
+		}
+		if found >= 0 {
+			lines[found].next = next[p]
+			continue
+		}
+		res.Misses++
+		res.CostQSum += uint64(rec.CostQ)
+		if len(lines) < assoc {
+			lines = append(lines, resident{block: rec.Block, next: next[p]})
+			continue
+		}
+		w := victim(lines, p)
+		lines[w] = resident{block: rec.Block, next: next[p]}
+	}
+}
+
+// beladyVictim is classic Belady/OPT: evict the line whose next use is
+// furthest in the future.
+func beladyVictim(log *Log, idx []int) func([]resident, int) int {
+	return func(lines []resident, _ int) int {
+		w := 0
+		for v := 1; v < len(lines); v++ {
+			if lines[v].next > lines[w].next {
+				w = v
+			}
+		}
+		return w
+	}
+}
+
+// costVictim is the cost-density rule: evicting a line forfeits one
+// future hit, turning its next access into a miss that costs that
+// access's CostQ. Evict the line with the smallest forfeited cost per
+// cycle of reuse distance — never-referenced-again lines first (they
+// forfeit nothing), then minimum CostQ(next)/(next-p), ties broken
+// toward the furthest next use.
+func costVictim(log *Log, idx []int) func([]resident, int) int {
+	return func(lines []resident, p int) int {
+		w, wScore := -1, 0.0
+		for v := range lines {
+			n := lines[v].next
+			if n == never {
+				return v
+			}
+			score := float64(log.Records[idx[n]].CostQ) / float64(n-p)
+			if w < 0 || score < wScore || (score == wScore && n > lines[w].next) {
+				w, wScore = v, score
+			}
+		}
+		return w
+	}
+}
+
+// checkGeometry validates a replay geometry.
+func checkGeometry(sets, assoc int) {
+	if sets <= 0 || assoc <= 0 {
+		panic(simerr.New(simerr.ErrBadConfig,
+			"oracle: replay needs positive sets and assoc, got %d x %d", sets, assoc))
+	}
+}
+
+// Belady replays the log under classic Belady/OPT: per set, evict the
+// line referenced furthest in the future. This minimizes the replay's
+// miss count (the Figure 1 "OPT" column, generalized from
+// cache.SimulateOPT to arbitrary per-set streams) but not its cost.
+func Belady(log *Log, sets, assoc int) Result {
+	checkGeometry(sets, assoc)
+	res := Result{Name: "belady", Accesses: log.Accesses()}
+	for _, idx := range splitSets(log, sets) {
+		replaySet(log, idx, nextUses(log, idx), assoc, &res, beladyVictim(log, idx))
+	}
+	return res
+}
+
+// CostBelady replays the log minimizing summed quantized mlp-cost — the
+// paper's Section 2 objective. Weighted offline caching has no simple
+// exchange-argument optimum, so each set is replayed under both the
+// cost-density greedy and classic Belady and the cheaper schedule is
+// kept (cost first, misses as tie-break). Sets are independent, so the
+// combination is itself a feasible schedule; by construction its summed
+// cost is never above Belady's.
+func CostBelady(log *Log, sets, assoc int) Result {
+	checkGeometry(sets, assoc)
+	res := Result{Name: "cost-belady", Accesses: log.Accesses()}
+	for _, idx := range splitSets(log, sets) {
+		next := nextUses(log, idx)
+		var greedy, opt Result
+		replaySet(log, idx, next, assoc, &greedy, costVictim(log, idx))
+		replaySet(log, idx, next, assoc, &opt, beladyVictim(log, idx))
+		best := greedy
+		if opt.CostQSum < best.CostQSum ||
+			(opt.CostQSum == best.CostQSum && opt.Misses < best.Misses) {
+			best = opt
+		}
+		res.Misses += best.Misses
+		res.CostQSum += best.CostQSum
+	}
+	return res
+}
+
+// EHC replays the log under an expected-hit-count predictor — unlike
+// the two oracles it uses no future knowledge, so it is a realizable
+// midpoint: per block, an EWMA of hits-per-residency is kept across
+// evictions, and the victim is the line with the fewest expected hits
+// remaining (expected minus received), ties broken toward LRU.
+func EHC(log *Log, sets, assoc int) Result {
+	checkGeometry(sets, assoc)
+	type line struct {
+		block   uint64
+		hits    uint64
+		lastUse int
+	}
+	res := Result{Name: "ehc", Accesses: log.Accesses()}
+	expect := make(map[uint64]float64)
+	for _, idx := range splitSets(log, sets) {
+		lines := make([]line, 0, assoc)
+		for p, i := range idx {
+			rec := log.Records[i]
+			found := -1
+			for w := range lines {
+				if lines[w].block == rec.Block {
+					found = w
+					break
+				}
+			}
+			if found >= 0 {
+				lines[found].hits++
+				lines[found].lastUse = p
+				continue
+			}
+			res.Misses++
+			res.CostQSum += uint64(rec.CostQ)
+			if len(lines) < assoc {
+				lines = append(lines, line{block: rec.Block, lastUse: p})
+				continue
+			}
+			w := 0
+			score := func(l line) float64 { return expect[l.block] - float64(l.hits) }
+			for v := 1; v < len(lines); v++ {
+				sv, sw := score(lines[v]), score(lines[w])
+				if sv < sw || (sv == sw && lines[v].lastUse < lines[w].lastUse) {
+					w = v
+				}
+			}
+			old := lines[w]
+			expect[old.block] = (expect[old.block] + float64(old.hits)) / 2
+			lines[w] = line{block: rec.Block, lastUse: p}
+		}
+	}
+	return res
+}
+
+// ReplayOnline replays the log through a real cache.Policy on a fresh
+// tag store with the same geometry and scoring — the untimed online
+// baseline the oracle results are compared against (and the property
+// tests' witnesses: no online policy can miss less than Belady).
+func ReplayOnline(log *Log, sets, assoc int, policy cache.Policy) Result {
+	checkGeometry(sets, assoc)
+	c := cache.New(cache.Config{Sets: sets, Assoc: assoc, BlockBytes: 1}, policy)
+	res := Result{Name: policy.Name(), Accesses: log.Accesses()}
+	for _, rec := range log.Records {
+		if c.Probe(rec.Block, false) {
+			continue
+		}
+		res.Misses++
+		res.CostQSum += uint64(rec.CostQ)
+		c.Fill(rec.Block, rec.CostQ, false)
+	}
+	return res
+}

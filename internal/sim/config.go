@@ -106,6 +106,46 @@ func (p PolicySpec) leaderSets() int {
 	return p.LeaderSets
 }
 
+// AccessKind classifies one captured L2 demand access (see
+// Config.Capture). The three kinds mirror the memory system's own
+// accounting: a Hit found the block resident, a Miss is a primary demand
+// miss or the demand upgrade of a late prefetch (exactly the accesses
+// counted in MemStats.DemandMisses), and a Merge joined an in-flight
+// demand miss (MemStats.MergedMisses).
+type AccessKind uint8
+
+// The captured access kinds.
+const (
+	AccessHit AccessKind = iota
+	AccessMiss
+	AccessMerge
+)
+
+// String names the kind.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessHit:
+		return "hit"
+	case AccessMiss:
+		return "miss"
+	case AccessMerge:
+		return "merge"
+	}
+	return "unknown"
+}
+
+// AccessObserver receives the L2 demand-access stream as the simulation
+// runs — the capture sink behind internal/oracle's offline replays.
+// OnL2Access is called once per demand access in program order; hits
+// carry the resident line's stored quantized cost (the cost the block's
+// miss accrued), misses and merges carry 0 and are completed by a later
+// OnMissCost call when the miss's fill computes the accrued cost
+// (Algorithm 1). Pure-prefetch traffic is never reported.
+type AccessObserver interface {
+	OnL2Access(block uint64, kind AccessKind, costQ uint8)
+	OnMissCost(block uint64, costQ uint8)
+}
+
 // Config is the full machine and run configuration.
 type Config struct {
 	CPU  cpu.Config
@@ -138,6 +178,11 @@ type Config struct {
 	// MissHook, when set, observes every serviced L2 miss (instrumentation
 	// for workload analysis and tests).
 	MissHook func(addr uint64, costQ uint8)
+	// Capture, when non-nil, receives every L2 demand access (hit,
+	// primary miss, merge) with its quantized mlp-cost — the stream
+	// internal/oracle replays offline under Belady-style policies. A nil
+	// observer costs one predictable branch per L2 access.
+	Capture AccessObserver
 	// Trace, when non-nil, receives the event stream documented in
 	// docs/OBSERVABILITY.md: miss issue/merge/fill with accrued
 	// mlp-cost, victim selections with the LIN operands, PSEL updates,

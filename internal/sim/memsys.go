@@ -147,6 +147,10 @@ type memSystem struct {
 	// shared (cycle-stamped) with the replacement policies.
 	tr *clockTracer
 
+	// capture, when non-nil, receives the L2 demand-access stream for
+	// offline oracle replay (Config.Capture).
+	capture AccessObserver
+
 	// Interval accumulators for the Figure 11 time series.
 	intMisses   uint64
 	intCostQSum uint64
@@ -165,6 +169,7 @@ func newMemSystem(cfg Config, l2 *cache.Cache, hybrid core.Hybrid, inj *faultinj
 		seen:     make(map[uint64]struct{}),
 		lastCost: make(map[uint64]float64),
 		costHist: stats.NewHistogram(60, 8),
+		capture:  cfg.Capture,
 	}
 	if cfg.Prefetch != nil {
 		m.pf = prefetch.New(*cfg.Prefetch)
@@ -237,6 +242,12 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 	l2Hit := m.l2.Probe(addr, false)
 	block := m.l2.BlockOf(addr)
 	if l2Hit {
+		if m.capture != nil {
+			// A hit's cost-if-miss estimate is the resident line's
+			// stored quantized cost — what the block's own miss accrued.
+			costQ, _ := m.l2.CostOf(addr)
+			m.capture.OnL2Access(block, AccessHit, costQ)
+		}
 		if m.prefetched != nil {
 			if _, ok := m.prefetched[block]; ok {
 				delete(m.prefetched, block)
@@ -262,6 +273,9 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 		if f.prefetch {
 			// A late prefetch: the demand access still waits, but
 			// the cost clock only starts now (demand upgrade).
+			if m.capture != nil {
+				m.capture.OnL2Access(block, AccessMiss, 0)
+			}
 			f.prefetch = false
 			m.mstats.PrefetchLate++
 			m.mstats.DemandMisses++
@@ -273,6 +287,9 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 				m.hybrid.OnAccess(addr, write, false, true)
 			}
 		} else {
+			if m.capture != nil {
+				m.capture.OnL2Access(block, AccessMerge, 0)
+			}
 			m.mstats.MergedMisses++
 			if m.hybrid != nil {
 				m.hybrid.OnAccess(addr, write, false, false)
@@ -285,6 +302,9 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 		return 0, false // structural stall; the core retries
 	}
 	m.mshr.Allocate(block, true, now)
+	if m.capture != nil {
+		m.capture.OnL2Access(block, AccessMiss, 0)
+	}
 	if m.tr != nil {
 		m.tr.Emit(metrics.Event{Type: metrics.EventMissIssue, Addr: addr, Block: block})
 	}
@@ -367,6 +387,9 @@ func (m *memSystem) service(f *fill, now uint64) error {
 	}
 	if m.cfg.MissHook != nil {
 		m.cfg.MissHook(f.addr, costQ)
+	}
+	if m.capture != nil {
+		m.capture.OnMissCost(block, costQ)
 	}
 	m.mstats.CostQSum += uint64(costQ)
 	m.intMisses++

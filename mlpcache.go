@@ -33,6 +33,7 @@ import (
 	"mlpcache/internal/core"
 	"mlpcache/internal/faultinject"
 	"mlpcache/internal/metrics"
+	"mlpcache/internal/oracle"
 	"mlpcache/internal/prefetch"
 	"mlpcache/internal/sim"
 	"mlpcache/internal/simerr"
@@ -129,6 +130,27 @@ const (
 // NewJSONLTracer streams events as JSONL (schema "mlpcache.events/v1").
 func NewJSONLTracer(w io.Writer, hdr RunHeader) *metrics.JSONLTracer {
 	return metrics.NewJSONLTracer(w, hdr)
+}
+
+// Offline oracle subsystem (docs/ORACLE.md): set Config.Capture to a
+// NewOracleCapture sink, run, then CompareOracles replays the captured
+// stream under Belady, cost-weighted Belady, and EHC.
+type (
+	// OracleCapture records the live L2 demand stream (Config.Capture).
+	OracleCapture = oracle.Capture
+	// OracleLog is a captured access stream plus the live accounting.
+	OracleLog = oracle.Log
+	// OracleComparison bundles the live score with all three replays.
+	OracleComparison = oracle.Comparison
+)
+
+// NewOracleCapture returns an empty capture sink for Config.Capture.
+func NewOracleCapture() *oracle.Capture { return oracle.NewCapture() }
+
+// CompareOracles replays a captured log at the given geometry under all
+// three offline oracles.
+func CompareOracles(log *OracleLog, sets, assoc int) OracleComparison {
+	return oracle.Compare(log, sets, assoc)
 }
 
 // Robustness tooling: the invariant auditor's report (Result.Audit when

@@ -17,6 +17,7 @@ import (
 
 	"mlpcache/internal/experiments"
 	"mlpcache/internal/metrics"
+	"mlpcache/internal/oracle"
 	"mlpcache/internal/prefetch"
 	"mlpcache/internal/sim"
 	"mlpcache/internal/workload"
@@ -107,6 +108,29 @@ func coveringRuns(t testing.TB, sink metrics.Tracer) []sim.Result {
 	}
 }
 
+// oracleRegistry captures one small LRU run, compares it against the
+// offline oracles, and returns a registry holding only the oracle.*
+// families — exactly what mlpsim -oracle adds to a run's registry.
+func oracleRegistry(t testing.TB) *metrics.Registry {
+	t.Helper()
+	w, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("unknown benchmark mcf")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = 120_000
+	cap := oracle.NewCapture()
+	cfg.Capture = cap
+	sim.MustRun(cfg, w.Build(42))
+	sets, err := cfg.L2.SetCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	oracle.Compare(cap.Log(), sets, cfg.L2.Assoc).Observe(reg)
+	return reg
+}
+
 // TestMetricCatalogMatchesEmission asserts set equality between the
 // documented metric catalog and the union of names registered by the
 // two covering runs — every documented metric is emitted, and every
@@ -119,6 +143,12 @@ func TestMetricCatalogMatchesEmission(t *testing.T) {
 		for _, s := range res.Metrics().Samples() {
 			emitted[s.Name] = s.Kind
 		}
+	}
+	// The oracle families (docs/OBSERVABILITY.md "Oracle runs only") are
+	// registered by mlpsim -oracle via oracle.Comparison.Observe; a
+	// captured run covers them.
+	for _, s := range oracleRegistry(t).Samples() {
+		emitted[s.Name] = s.Kind
 	}
 
 	for name, kind := range docMetrics {

@@ -1,0 +1,113 @@
+// Acceptance tests for docs/ORACLE.md and the oracle-headroom
+// experiment: the metric catalog in that document is checked in both
+// directions against what oracle.Comparison.Observe actually registers,
+// and the headroom table must satisfy the subsystem's defining
+// invariants on every benchmark.
+package mlpcache
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mlpcache/internal/experiments"
+	"mlpcache/internal/metrics"
+)
+
+// parseOracleCatalog reads docs/ORACLE.md's metric table (same row
+// format as docs/OBSERVABILITY.md, so the same regex applies).
+func parseOracleCatalog(t *testing.T) map[string]metrics.Kind {
+	t.Helper()
+	raw, err := os.ReadFile("docs/ORACLE.md")
+	if err != nil {
+		t.Fatalf("reading contract doc: %v", err)
+	}
+	kinds := map[string]metrics.Kind{
+		"counter": metrics.KindCounter,
+		"gauge":   metrics.KindGauge,
+	}
+	doc := map[string]metrics.Kind{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := catalogRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, second := m[1], strings.TrimSpace(m[2])
+		k, ok := kinds[second]
+		if !ok {
+			continue // replay-table rows and prose tables
+		}
+		if _, dup := doc[name]; dup {
+			t.Errorf("doc lists metric %q twice", name)
+		}
+		doc[name] = k
+	}
+	if len(doc) == 0 {
+		t.Fatal("catalog parse found no metrics — table format changed?")
+	}
+	return doc
+}
+
+// TestOracleCatalogMatchesEmission checks docs/ORACLE.md against a live
+// captured run in both directions: every documented oracle metric is
+// registered, every registered metric is documented, kinds match.
+func TestOracleCatalogMatchesEmission(t *testing.T) {
+	doc := parseOracleCatalog(t)
+	emitted := map[string]metrics.Kind{}
+	for _, s := range oracleRegistry(t).Samples() {
+		emitted[s.Name] = s.Kind
+	}
+	for name, kind := range doc {
+		got, ok := emitted[name]
+		if !ok {
+			t.Errorf("documented metric %q never registered by an oracle run", name)
+			continue
+		}
+		if got != kind {
+			t.Errorf("metric %q: doc says %s, registry says %s", name, kind, got)
+		}
+	}
+	for name := range emitted {
+		if _, ok := doc[name]; !ok {
+			t.Errorf("registered metric %q missing from docs/ORACLE.md", name)
+		}
+	}
+}
+
+// TestOracleHeadroomAcceptance runs the oracle-headroom experiment on
+// four benchmarks and checks the row invariants the subsystem promises:
+// Belady's miss count lower-bounds the captured LRU run's, and the
+// cost-weighted Belady's summed cost never exceeds classic Belady's
+// (nor the live LRU cost).
+func TestOracleHeadroomAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := experiments.NewRunner(200_000, 42)
+	r.Benchmarks = []string{"art", "mcf", "ammp", "parser"}
+	res := experiments.OracleHeadroom(r)
+	if len(res.Rows) < 4 {
+		t.Fatalf("headroom table has %d rows, want >= 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Accesses == 0 {
+			t.Errorf("%s: empty capture", row.Bench)
+		}
+		if row.OPTMiss > row.LRUMiss {
+			t.Errorf("%s: Belady %d misses exceeds live LRU's %d",
+				row.Bench, row.OPTMiss, row.LRUMiss)
+		}
+		if row.CostOPTCost > row.OPTCost {
+			t.Errorf("%s: cost-weighted Belady cost %d exceeds Belady's %d",
+				row.Bench, row.CostOPTCost, row.OPTCost)
+		}
+		if row.CostOPTCost > row.LRUCost {
+			t.Errorf("%s: cost-weighted Belady cost %d exceeds live LRU's %d",
+				row.Bench, row.CostOPTCost, row.LRUCost)
+		}
+		if row.MissHeadroomPct < 0 || row.CostHeadroomPct < 0 {
+			t.Errorf("%s: negative headroom (miss %.1f%%, cost %.1f%%)",
+				row.Bench, row.MissHeadroomPct, row.CostHeadroomPct)
+		}
+	}
+}
