@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet lint docs-check fuzz-smoke bench bench-smoke clean
+.PHONY: tier1 build test race vet lint docs-check fuzz-smoke bench bench-smoke bench-record bench-compare clean
 
 # tier1 is the repo's gate: every PR must leave it green.
-tier1: vet lint docs-check build race fuzz-smoke bench-smoke
+tier1: vet lint docs-check build race fuzz-smoke bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,19 @@ bench-smoke:
 	for name in BenchmarkObservability BenchmarkOracleHeadroom; do \
 		echo "$$out" | grep -q "$$name" || { echo "bench-smoke: $$name missing from benchmark output" >&2; exit 1; }; \
 	done
+
+# bench-record snapshots the perf-trajectory suite into BENCH_PR5.json
+# (instr/s, ns/op, allocs/op per benchmark; best of two runs). The
+# snapshot is committed so bench-compare has a fixed reference; any
+# pre_pr5_baseline section already in the file is preserved.
+bench-record:
+	$(GO) run ./tools/benchjson -record -out BENCH_PR5.json
+
+# bench-compare re-runs the suite and fails on a >5% instr/s drop or a
+# >20% allocs/op growth against the committed snapshot (see
+# docs/PERFORMANCE.md for the contract). Part of tier1.
+bench-compare:
+	$(GO) run ./tools/benchjson -compare -baseline BENCH_PR5.json
 
 clean:
 	$(GO) clean ./...

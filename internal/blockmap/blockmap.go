@@ -1,0 +1,166 @@
+// Package blockmap provides a compact open-addressed hash table keyed by
+// 64-bit block numbers. It replaces the Go maps on the memory system's
+// per-access path (in-flight misses, compulsory-miss tracking, MSHR block
+// index), where the runtime map's hashing, bucket chasing, and write
+// barriers dominated the miss-handling profile. The table hashes with a
+// single Fibonacci multiply, probes linearly, and deletes with backward
+// shifting, so steady-state operation allocates nothing and touches a
+// handful of contiguous words per lookup — the software analogue of the
+// paper's Section 5 argument that MLP-aware bookkeeping (the MSHR file
+// of Algorithm 1 and the per-block cost state it feeds) must be
+// near-free in hardware.
+package blockmap
+
+// minSlots is the smallest table allocated; small enough to stay cheap
+// for toy configurations, large enough that a table sized for a few
+// entries never rehashes during warm-up.
+const minSlots = 16
+
+// Table maps block numbers to values of type V. The zero Table is not
+// ready for use; construct with New. Tables grow automatically to keep
+// the load factor at or below one half, so fixed-population users (for
+// example an MSHR-bounded in-flight set) never rehash after New and
+// unbounded users (per-block footprint tracking) amortize growth the
+// same way a Go map would — without per-operation overhead.
+type Table[V any] struct {
+	blocks []uint64
+	vals   []V
+	used   []bool
+	n      int
+	shift  uint // 64 - log2(len(blocks)); hash mixes into the top bits
+}
+
+// New returns a table pre-sized for the given expected population. The
+// backing store holds at least four slots per expected entry (a 25% load
+// factor), so a population that stays within the hint never rehashes.
+func New[V any](expected int) *Table[V] {
+	slots := minSlots
+	for slots < 4*expected {
+		slots <<= 1
+	}
+	return newWithSlots[V](slots)
+}
+
+func newWithSlots[V any](slots int) *Table[V] {
+	shift := uint(64)
+	for s := slots; s > 1; s >>= 1 {
+		shift--
+	}
+	return &Table[V]{
+		blocks: make([]uint64, slots),
+		vals:   make([]V, slots),
+		used:   make([]bool, slots),
+		shift:  shift,
+	}
+}
+
+// fibMul is 2^64 / φ, the classic Fibonacci-hashing multiplier: block
+// numbers are sequential in the low bits, and the multiply spreads them
+// across the table's index bits (taken from the top of the product).
+const fibMul = 0x9E3779B97F4A7C15
+
+func (t *Table[V]) home(block uint64) int {
+	return int((block * fibMul) >> t.shift)
+}
+
+// Len returns the number of stored entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// Get returns the value stored for block, if any.
+func (t *Table[V]) Get(block uint64) (V, bool) {
+	mask := len(t.blocks) - 1
+	for i := t.home(block); ; i = (i + 1) & mask {
+		if !t.used[i] {
+			var zero V
+			return zero, false
+		}
+		if t.blocks[i] == block {
+			return t.vals[i], true
+		}
+	}
+}
+
+// Put stores v for block, replacing any existing value.
+func (t *Table[V]) Put(block uint64, v V) {
+	if 2*(t.n+1) > len(t.blocks) {
+		t.grow()
+	}
+	mask := len(t.blocks) - 1
+	for i := t.home(block); ; i = (i + 1) & mask {
+		if !t.used[i] {
+			t.blocks[i], t.vals[i], t.used[i] = block, v, true
+			t.n++
+			return
+		}
+		if t.blocks[i] == block {
+			t.vals[i] = v
+			return
+		}
+	}
+}
+
+// Delete removes block's entry, reporting whether one existed. Removal
+// backward-shifts the following probe run, so the table never needs
+// tombstones and lookups stay a pure linear probe.
+func (t *Table[V]) Delete(block uint64) bool {
+	mask := len(t.blocks) - 1
+	i := t.home(block)
+	for {
+		if !t.used[i] {
+			return false
+		}
+		if t.blocks[i] == block {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	t.n--
+	// Backward shift: walk the probe run after i; any element whose home
+	// slot does not lie in the cyclic interval (i, j] can legally move
+	// into the hole, re-establishing the invariant that every entry is
+	// reachable from its home by a gap-free probe.
+	var zero V
+	for {
+		j := i
+		for {
+			j = (j + 1) & mask
+			if !t.used[j] {
+				t.blocks[i], t.vals[i], t.used[i] = 0, zero, false
+				return true
+			}
+			h := t.home(t.blocks[j])
+			inRun := false
+			if i < j {
+				inRun = i < h && h <= j
+			} else {
+				inRun = i < h || h <= j
+			}
+			if !inRun {
+				break
+			}
+		}
+		t.blocks[i], t.vals[i] = t.blocks[j], t.vals[j]
+		i = j
+	}
+}
+
+// Range calls f for every entry until f returns false. Iteration order
+// is the table's physical slot order — deterministic for a given history
+// but otherwise unspecified, like a hardware CAM scan.
+func (t *Table[V]) Range(f func(block uint64, v V) bool) {
+	for i := range t.blocks {
+		if t.used[i] && !f(t.blocks[i], t.vals[i]) {
+			return
+		}
+	}
+}
+
+func (t *Table[V]) grow() {
+	next := newWithSlots[V](2 * len(t.blocks))
+	for i := range t.blocks {
+		if t.used[i] {
+			next.Put(t.blocks[i], t.vals[i])
+		}
+	}
+	*t = *next
+}

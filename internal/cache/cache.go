@@ -371,6 +371,11 @@ func (v SetView) Line(w int) Line { return v.cache.set(v.Index)[w] }
 // RecencyRank returns way w's LRU-stack position: 0 for the least
 // recently used valid line, Ways()-1 for the most recently used. Invalid
 // lines rank below all valid ones.
+//
+// This is the O(A)-per-way reference implementation; policies on the
+// eviction hot path use Ranks, which computes every way's position at
+// once. The invariant auditor and the property tests keep the two in
+// agreement.
 func (v SetView) RecencyRank(w int) int {
 	lines := v.cache.set(v.Index)
 	me := lines[w]
@@ -426,8 +431,55 @@ func (v SetView) Demote(w int) {
 	lines[w].lastUse = minUse - 1
 }
 
-// lru returns the way with the oldest use, preferring invalid lines.
-func (v SetView) lru() int {
+// Ranks fills buf with every way's LRU-stack position and returns it
+// (reallocating when buf is too small, so callers can reuse a scratch
+// slice across invocations). The result agrees exactly with calling
+// RecencyRank for each way — invalid lines rank 0; a valid line's rank
+// counts the valid lines with older lastUse — but costs one sorting pass
+// over the set instead of a quadratic scan, which matters because the
+// cost-aware victim functions need all A positions on every eviction.
+func (v SetView) Ranks(buf []int) []int {
+	lines := v.cache.set(v.Index)
+	n := len(lines)
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	// Insertion-sort the valid ways by lastUse. Associativities are small
+	// (16 in the baseline), so this stays cache-resident and branch-cheap;
+	// the stack array keeps the common case allocation-free.
+	var stack [64]int
+	var order []int
+	if n <= len(stack) {
+		order = stack[:0]
+	} else {
+		order = make([]int, 0, n)
+	}
+	for w := 0; w < n; w++ {
+		buf[w] = 0
+		if !lines[w].Valid {
+			continue
+		}
+		lu := lines[w].lastUse
+		i := len(order)
+		order = append(order, w)
+		for i > 0 && lines[order[i-1]].lastUse > lu {
+			order[i] = order[i-1]
+			i--
+		}
+		order[i] = w
+	}
+	for r, w := range order {
+		buf[w] = r
+	}
+	return buf
+}
+
+// LRUWay returns the victim plain LRU would pick: the lowest-numbered
+// invalid way if one exists, otherwise the way at recency rank 0 (the
+// oldest lastUse). It is the shared O(A) victim fast path under the LRU,
+// BIP and DCL policies.
+func (v SetView) LRUWay() int {
 	lines := v.cache.set(v.Index)
 	best := 0
 	for w := range lines {
@@ -440,3 +492,6 @@ func (v SetView) lru() int {
 	}
 	return best
 }
+
+// lru returns the way with the oldest use, preferring invalid lines.
+func (v SetView) lru() int { return v.LRUWay() }

@@ -35,8 +35,9 @@ func NewLRU() *LRU { return &LRU{} }
 // Name implements Policy.
 func (*LRU) Name() string { return "lru" }
 
-// Victim implements Policy.
-func (*LRU) Victim(set SetView) int { return set.lru() }
+// Victim implements Policy: the way at recency rank 0, preferring
+// invalid lines (see SetView.LRUWay).
+func (*LRU) Victim(set SetView) int { return set.LRUWay() }
 
 // FIFO evicts the line that was filled first.
 type FIFO struct{ Base }
@@ -49,13 +50,13 @@ func (*FIFO) Name() string { return "fifo" }
 
 // Victim implements Policy.
 func (*FIFO) Victim(set SetView) int {
+	lines := set.cache.set(set.Index)
 	best := 0
-	for w := 0; w < set.Ways(); w++ {
-		ln := set.Line(w)
-		if !ln.Valid {
+	for w := range lines {
+		if !lines[w].Valid {
 			return w
 		}
-		if ln.inserted < set.Line(best).inserted {
+		if lines[w].inserted < lines[best].inserted {
 			best = w
 		}
 	}
@@ -107,16 +108,16 @@ func (*NMRU) Name() string { return "nmru" }
 
 // Victim implements Policy.
 func (n *NMRU) Victim(set SetView) int {
+	lines := set.cache.set(set.Index)
 	mru, lru := 0, 0
-	for w := 0; w < set.Ways(); w++ {
-		ln := set.Line(w)
-		if !ln.Valid {
+	for w := range lines {
+		if !lines[w].Valid {
 			return w
 		}
-		if ln.lastUse > set.Line(mru).lastUse {
+		if lines[w].lastUse > lines[mru].lastUse {
 			mru = w
 		}
-		if ln.lastUse < set.Line(lru).lastUse {
+		if lines[w].lastUse < lines[lru].lastUse {
 			lru = w
 		}
 	}

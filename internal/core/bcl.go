@@ -26,6 +26,14 @@ type BCL struct {
 	cache.Base
 	threshold uint8
 	depth     int
+	scratch   bclScratch
+}
+
+// bclScratch holds the reusable rank buffers of the BCL victim walk so
+// the eviction path stays allocation-free.
+type bclScratch struct {
+	ranks  []int
+	byRank []int
 }
 
 // NewBCL returns the basic cost-sensitive LRU engine. threshold is the
@@ -44,26 +52,26 @@ func (p *BCL) Name() string { return fmt.Sprintf("bcl(t=%d,d=%d)", p.threshold, 
 
 // Victim implements cache.Policy.
 func (p *BCL) Victim(set cache.SetView) int {
-	return bclVictim(set, p.threshold, p.depth)
+	return bclVictim(set, p.threshold, p.depth, &p.scratch)
 }
 
 // bclVictim is the shared BCL victim walk: cheapest-first within depth,
-// LRU fallback.
-func bclVictim(set cache.SetView, threshold uint8, depth int) int {
+// LRU fallback. One Ranks pass orders the ways by stack position; the
+// inverse map byRank[r] then drives the bottom-up cost probe in O(A).
+func bclVictim(set cache.SetView, threshold uint8, depth int, sc *bclScratch) int {
 	ways := set.Ways()
-	// Order ways by recency rank (0 = LRU). Associativities are small,
-	// so a direct selection pass per rank is fine.
-	byRank := make([]int, ways)
-	lruWay := -1
 	for w := 0; w < ways; w++ {
 		if !set.Line(w).Valid {
 			return w
 		}
-		r := set.RecencyRank(w)
+	}
+	sc.ranks = set.Ranks(sc.ranks)
+	if cap(sc.byRank) < ways {
+		sc.byRank = make([]int, ways)
+	}
+	byRank := sc.byRank[:ways]
+	for w, r := range sc.ranks {
 		byRank[r] = w
-		if r == 0 {
-			lruWay = w
-		}
 	}
 	if depth > ways {
 		depth = ways
@@ -74,7 +82,7 @@ func bclVictim(set cache.SetView, threshold uint8, depth int) int {
 			return w
 		}
 	}
-	return lruWay
+	return byRank[0]
 }
 
 // DCL is the dynamic variant: BCL plus a feedback loop that measures
@@ -93,6 +101,7 @@ type DCL struct {
 	counter   int // saturating in [-dclSat, +dclSat]
 	protected map[int]dclWatch
 	stats     DCLStats
+	scratch   bclScratch
 }
 
 // dclWatch tracks one protected block: its tag and how many further
@@ -139,14 +148,11 @@ func (p *DCL) Enabled() bool { return p.counter >= 0 }
 
 // Victim implements cache.Policy.
 func (p *DCL) Victim(set cache.SetView) int {
-	lruWay := -1
-	for w := 0; w < set.Ways(); w++ {
-		if !set.Line(w).Valid {
-			return w
-		}
-		if set.RecencyRank(w) == 0 {
-			lruWay = w
-		}
+	// LRUWay prefers the lowest-numbered invalid way, exactly like the
+	// per-way reference scan this replaces.
+	lruWay := set.LRUWay()
+	if !set.Line(lruWay).Valid {
+		return lruWay
 	}
 	// Age any active watch in this set; a protection that survives too
 	// many evictions without a re-reference is judged a loss even if
@@ -164,7 +170,7 @@ func (p *DCL) Victim(set cache.SetView) int {
 		p.counter++ // decay back toward enabling
 		return lruWay
 	}
-	w := bclVictim(set, p.threshold, p.depth)
+	w := bclVictim(set, p.threshold, p.depth, &p.scratch)
 	if w != lruWay {
 		// The LRU block was protected: remember it and judge later.
 		if watch, ok := p.protected[set.Index]; ok && watch.tag == set.Line(lruWay).Tag {

@@ -43,19 +43,9 @@ func NewBIP(epsilonInv int, seed uint64) *BIP {
 // Name implements cache.Policy.
 func (p *BIP) Name() string { return fmt.Sprintf("bip(1/%d)", p.epsilonInv) }
 
-// Victim implements cache.Policy: plain LRU victim selection.
-func (p *BIP) Victim(set cache.SetView) int {
-	best := -1
-	for w := 0; w < set.Ways(); w++ {
-		if !set.Line(w).Valid {
-			return w
-		}
-		if set.RecencyRank(w) == 0 {
-			best = w
-		}
-	}
-	return best
-}
+// Victim implements cache.Policy: plain LRU victim selection via the
+// shared rank-0 fast path.
+func (p *BIP) Victim(set cache.SetView) int { return set.LRUWay() }
 
 // Touched implements cache.Policy: hits promote normally (the cache
 // already moved the line to MRU).

@@ -18,6 +18,10 @@ type CostAware struct {
 	name  string
 	score func(recency, costQ int) int
 	tr    metrics.Tracer
+	// rankBuf is the Ranks scratch slice, reused across victim decisions
+	// to keep the eviction path allocation-free. Policies are per-run
+	// objects driven from a single goroutine, so one buffer suffices.
+	rankBuf []int
 }
 
 // SetTracer installs an event tracer; each victim decision then emits a
@@ -52,16 +56,22 @@ func (p *CostAware) Name() string { return p.name }
 
 // Victim implements cache.Policy. Invalid lines win immediately; among
 // valid lines the minimum score wins, ties broken by smaller recency.
+// All A stack positions come from one Ranks pass instead of a per-way
+// RecencyRank scan, keeping the decision O(A) — the software analogue of
+// the paper's point that replacement must be near-free in hardware.
 func (p *CostAware) Victim(set cache.SetView) int {
-	best := -1
-	bestScore, bestRecency, bestCostQ := 0, 0, 0
-	for w := 0; w < set.Ways(); w++ {
-		ln := set.Line(w)
-		if !ln.Valid {
+	ways := set.Ways()
+	for w := 0; w < ways; w++ {
+		if !set.Line(w).Valid {
 			return w
 		}
-		r := set.RecencyRank(w)
-		c := int(ln.CostQ)
+	}
+	p.rankBuf = set.Ranks(p.rankBuf)
+	best := -1
+	bestScore, bestRecency, bestCostQ := 0, 0, 0
+	for w := 0; w < ways; w++ {
+		r := p.rankBuf[w]
+		c := int(set.Line(w).CostQ)
 		s := p.score(r, c)
 		if best < 0 || s < bestScore || (s == bestScore && r < bestRecency) {
 			best, bestScore, bestRecency, bestCostQ = w, s, r, c

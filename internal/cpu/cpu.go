@@ -153,6 +153,15 @@ type CPU struct {
 	events  eventHeap
 	didWork bool
 
+	// firstWaitingG is a lower bound on the global index of the oldest
+	// stWaiting entry. During memory stalls the window head accumulates a
+	// long prefix of completed-but-unretirable entries; starting the issue
+	// scan at this cursor instead of the head skips that prefix. The bound
+	// is maintained monotonically: it only advances when a scan proves no
+	// waiting entry exists below the new value, and newly fetched entries
+	// always carry larger global indices.
+	firstWaitingG uint64
+
 	inMemStall bool
 	stats      Stats
 }
@@ -234,8 +243,14 @@ func (c *CPU) Stats() Stats { return c.stats }
 func (c *CPU) Finished() bool { return c.srcDone && c.count == 0 }
 
 // slot maps a global instruction index in the window to its ROB slot.
+// g is within the window, so the offset is below len(rob) and a single
+// conditional wrap replaces the (much slower) modulo.
 func (c *CPU) slot(g uint64) int {
-	return (c.head + int(g-c.headG)) % len(c.rob)
+	s := c.head + int(g-c.headG)
+	if s >= len(c.rob) {
+		s -= len(c.rob)
+	}
+	return s
 }
 
 // depReady reports whether the entry's register dependence has resolved
@@ -330,7 +345,10 @@ func (c *CPU) retire(now uint64) int {
 				c.stats.Mispredicts++
 			}
 		}
-		c.head = (c.head + 1) % len(c.rob)
+		c.head++
+		if c.head == len(c.rob) {
+			c.head = 0
+		}
 		c.headG++
 		c.count--
 		c.stats.Retired++
@@ -369,14 +387,34 @@ func (c *CPU) issue(now uint64) {
 	}
 	issued, memIssued, seenWaiting := 0, 0, 0
 	toSee := c.waiting // snapshot: completions during the scan shrink c.waiting
-	for i := 0; i < c.count; i++ {
+	// Start at the oldest possibly-waiting entry instead of the head: the
+	// cursor is a proven lower bound, so every skipped slot is known not
+	// to be stWaiting and the scan's outcome is unchanged.
+	start := 0
+	if c.firstWaitingG > c.headG {
+		start = int(c.firstWaitingG - c.headG)
+	}
+	slot := c.head + start
+	if slot >= len(c.rob) {
+		slot -= len(c.rob)
+	}
+	cursorSet := false
+	for i := start; i < c.count; i++ {
 		if issued >= c.cfg.IssueWidth || seenWaiting >= toSee {
 			break
 		}
-		slot := (c.head + i) % len(c.rob)
 		e := &c.rob[slot]
+		slot++
+		if slot == len(c.rob) {
+			slot = 0
+		}
 		if e.state != stWaiting {
 			continue
+		}
+		if !cursorSet {
+			// First waiting entry this pass: everything older is done.
+			c.firstWaitingG = c.headG + uint64(i)
+			cursorSet = true
 		}
 		seenWaiting++
 		g := c.headG + uint64(i)
@@ -466,23 +504,33 @@ func (c *CPU) fetch(now uint64) {
 		c.stats.FullWindowCycles++
 		return
 	}
+	slot := c.head + c.count
+	if slot >= len(c.rob) {
+		slot -= len(c.rob)
+	}
 	for f := 0; f < c.cfg.FetchWidth && c.count < len(c.rob) && !c.srcDone; f++ {
 		in, ok := c.src.Next()
 		if !ok {
 			c.srcDone = true
 			return
 		}
-		slot := (c.head + c.count) % len(c.rob)
 		c.rob[slot] = robEntry{in: in, state: stWaiting}
+		mispredicted := in.Kind == trace.Branch && c.branchMispredicted(in)
+		if mispredicted {
+			c.rob[slot].mispredicted = true
+		}
+		slot++
+		if slot == len(c.rob) {
+			slot = 0
+		}
 		g := c.nextG
 		c.nextG++
 		c.count++
 		c.waiting++
 		c.didWork = true
-		if in.Kind == trace.Branch && c.branchMispredicted(in) {
+		if mispredicted {
 			// Stall-on-mispredict front end: no wrong path is
 			// fetched; fetch waits for the branch to resolve.
-			c.rob[slot].mispredicted = true
 			c.blockedG = g
 			return
 		}

@@ -15,6 +15,7 @@ package mshr
 import (
 	"fmt"
 
+	"mlpcache/internal/blockmap"
 	"mlpcache/internal/metrics"
 	"mlpcache/internal/simerr"
 )
@@ -53,7 +54,8 @@ type entry struct {
 	valid      bool
 	demand     bool
 	cost       float64
-	lastUpdate uint64 // cycle of the entry's last adder visit
+	lastUpdate uint64  // cycle of the entry's last adder visit
+	base       float64 // exact mode: cost-clock reading when demand charging began
 }
 
 // MSHR is the miss file.
@@ -61,17 +63,17 @@ type MSHR struct {
 	cfg      Config
 	capacity int // allocatable entries; <= cfg.Entries (see SetCapacity)
 	entries  []entry
-	index    map[uint64]int // block → slot
-	demand   int            // count of valid demand entries
-	rr       int            // round-robin pointer for adder sharing
+	index    *blockmap.Table[int] // block → slot; open-addressed, allocation-free
+	demand   int                  // count of valid demand entries
+	rr       int                  // round-robin pointer for adder sharing
 
 	// Exact-mode cost clock: clock accumulates Σ 1/N(t) over cycles with
 	// N(t) > 0 demand misses outstanding. An entry's cost is the clock
-	// advance over its lifetime, which makes the exact per-entry update
-	// O(1) per allocate/free event instead of O(entries) per cycle.
-	clock     float64
-	clockAt   uint64 // cycle the clock was last advanced to
-	clockBase map[uint64]float64
+	// advance over its lifetime (clock minus the entry's base), which
+	// makes the exact per-entry update O(1) per allocate/free event
+	// instead of O(entries) per cycle.
+	clock   float64
+	clockAt uint64 // cycle the clock was last advanced to
 
 	// Peak tracks the maximum simultaneous occupancy observed.
 	Peak int
@@ -117,11 +119,10 @@ func New(cfg Config) *MSHR {
 		panic(err)
 	}
 	return &MSHR{
-		cfg:       cfg,
-		capacity:  cfg.Entries,
-		entries:   make([]entry, cfg.Entries),
-		index:     make(map[uint64]int, cfg.Entries),
-		clockBase: make(map[uint64]float64, cfg.Entries),
+		cfg:      cfg,
+		capacity: cfg.Entries,
+		entries:  make([]entry, cfg.Entries),
+		index:    blockmap.New[int](cfg.Entries),
 	}
 }
 
@@ -143,10 +144,10 @@ func (m *MSHR) advanceClock(cycle uint64) {
 func (m *MSHR) Config() Config { return m.cfg }
 
 // Len returns the number of valid entries.
-func (m *MSHR) Len() int { return len(m.index) }
+func (m *MSHR) Len() int { return m.index.Len() }
 
 // Full reports whether no entry is free.
-func (m *MSHR) Full() bool { return len(m.index) >= m.capacity }
+func (m *MSHR) Full() bool { return m.index.Len() >= m.capacity }
 
 // Capacity returns the number of currently allocatable entries.
 func (m *MSHR) Capacity() int { return m.capacity }
@@ -172,7 +173,7 @@ func (m *MSHR) OutstandingDemand() int { return m.demand }
 
 // Pending reports whether a miss for the block is in flight.
 func (m *MSHR) Pending(block uint64) bool {
-	_, ok := m.index[block]
+	_, ok := m.index.Get(block)
 	return ok
 }
 
@@ -185,14 +186,14 @@ func (m *MSHR) Allocate(block uint64, demand bool, cycle uint64) (primary, full 
 	if m.Exact() {
 		m.advanceClock(cycle)
 	}
-	if i, ok := m.index[block]; ok {
+	if i, ok := m.index.Get(block); ok {
 		// Merge. A demand access upgrades a non-demand entry so the
 		// cost machinery starts charging it.
 		if demand && !m.entries[i].demand {
 			m.entries[i].demand = true
 			m.demand++
 			if m.Exact() {
-				m.clockBase[block] = m.clock
+				m.entries[i].base = m.clock
 			}
 		}
 		m.merges++
@@ -210,15 +211,15 @@ func (m *MSHR) Allocate(block uint64, demand bool, cycle uint64) (primary, full 
 		}
 	}
 	m.entries[slot] = entry{block: block, valid: true, demand: demand, lastUpdate: cycle}
-	m.index[block] = slot
+	m.index.Put(block, slot)
 	if demand {
 		m.demand++
 		if m.Exact() {
-			m.clockBase[block] = m.clock
+			m.entries[slot].base = m.clock
 		}
 	}
-	if len(m.index) > m.Peak {
-		m.Peak = len(m.index)
+	if m.index.Len() > m.Peak {
+		m.Peak = m.index.Len()
 	}
 	m.allocations++
 	return true, false
@@ -274,7 +275,7 @@ func (m *MSHR) addCost(i int, amount float64) {
 // caller — returns a wrapped simerr.ErrMSHRLeak instead of panicking, so
 // the violation propagates to sim.Run's caller as a typed error.
 func (m *MSHR) Free(block uint64, cycle uint64) (float64, error) {
-	i, ok := m.index[block]
+	i, ok := m.index.Get(block)
 	if !ok {
 		return 0, simerr.New(simerr.ErrMSHRLeak,
 			"mshr: Free of block %#x with no entry (double free or free-without-allocate)", block)
@@ -285,8 +286,7 @@ func (m *MSHR) Free(block uint64, cycle uint64) (float64, error) {
 	case m.Exact():
 		if e.demand {
 			m.advanceClock(cycle)
-			cost = m.clock - m.clockBase[block]
-			delete(m.clockBase, block)
+			cost = m.clock - e.base
 			if m.cfg.CostCap > 0 && cost > m.cfg.CostCap {
 				cost = m.cfg.CostCap
 			}
@@ -305,14 +305,14 @@ func (m *MSHR) Free(block uint64, cycle uint64) (float64, error) {
 		m.demand--
 	}
 	e.valid = false
-	delete(m.index, block)
+	m.index.Delete(block)
 	return cost, nil
 }
 
 // Cost returns the block's accumulated cost as of the given cycle; ok is
 // false if no entry exists.
 func (m *MSHR) Cost(block uint64, cycle uint64) (cost float64, ok bool) {
-	i, found := m.index[block]
+	i, found := m.index.Get(block)
 	if !found {
 		return 0, false
 	}
@@ -321,7 +321,7 @@ func (m *MSHR) Cost(block uint64, cycle uint64) (cost float64, ok bool) {
 			return 0, true
 		}
 		m.advanceClock(cycle)
-		return m.clock - m.clockBase[block], true
+		return m.clock - m.entries[i].base, true
 	}
 	return m.entries[i].cost, true
 }
@@ -334,7 +334,7 @@ func (m *MSHR) Cost(block uint64, cycle uint64) (cost float64, ok bool) {
 // Checked invariants: the index maps exactly the valid entries (no leak,
 // no alias, no dangling slot); the demand counter equals the number of
 // valid demand entries; occupancy never exceeds the configured size; in
-// exact mode every valid demand entry has a cost-clock base no greater
+// exact mode every valid demand entry's cost-clock base is no greater
 // than the current clock.
 func (m *MSHR) AuditInvariants() []string {
 	var out []string
@@ -349,23 +349,18 @@ func (m *MSHR) AuditInvariants() []string {
 		if e.demand {
 			demand++
 		}
-		slot, ok := m.index[e.block]
+		slot, ok := m.index.Get(e.block)
 		if !ok {
 			out = append(out, fmt.Sprintf("valid entry %d (block %#x) missing from index", i, e.block))
 		} else if slot != i {
 			out = append(out, fmt.Sprintf("block %#x indexed at slot %d but stored at %d", e.block, slot, i))
 		}
-		if m.Exact() && e.demand {
-			base, ok := m.clockBase[e.block]
-			if !ok {
-				out = append(out, fmt.Sprintf("demand block %#x has no cost-clock base", e.block))
-			} else if base > m.clock {
-				out = append(out, fmt.Sprintf("demand block %#x clock base %v ahead of clock %v", e.block, base, m.clock))
-			}
+		if m.Exact() && e.demand && e.base > m.clock {
+			out = append(out, fmt.Sprintf("demand block %#x clock base %v ahead of clock %v", e.block, e.base, m.clock))
 		}
 	}
-	if len(m.index) != valid {
-		out = append(out, fmt.Sprintf("index holds %d blocks but %d entries are valid", len(m.index), valid))
+	if m.index.Len() != valid {
+		out = append(out, fmt.Sprintf("index holds %d blocks but %d entries are valid", m.index.Len(), valid))
 	}
 	if m.demand != demand {
 		out = append(out, fmt.Sprintf("demand counter %d but %d valid demand entries", m.demand, demand))
@@ -373,14 +368,15 @@ func (m *MSHR) AuditInvariants() []string {
 	if valid > m.cfg.Entries {
 		out = append(out, fmt.Sprintf("occupancy %d exceeds configured %d entries", valid, m.cfg.Entries))
 	}
-	for block, slot := range m.index {
+	m.index.Range(func(block uint64, slot int) bool {
 		if slot < 0 || slot >= len(m.entries) {
 			out = append(out, fmt.Sprintf("block %#x indexed at out-of-range slot %d", block, slot))
-			continue
+			return true
 		}
 		if !m.entries[slot].valid || m.entries[slot].block != block {
 			out = append(out, fmt.Sprintf("index entry %#x→%d dangles", block, slot))
 		}
-	}
+		return true
+	})
 	return out
 }

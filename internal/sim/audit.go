@@ -23,12 +23,13 @@ func buildAuditor(cfg Config, mem *memSystem, hybrid core.Hybrid) *audit.Auditor
 			// Every pending fill must hold an MSHR entry and vice
 			// versa: allocations and fills are created and retired
 			// together, so the two tables are a bijection.
-			for block := range mem.inflight {
+			mem.inflight.Range(func(block uint64, _ *fill) bool {
 				if !mem.mshr.Pending(block) {
 					report(fmt.Sprintf("in-flight fill for block %#x has no MSHR entry", block))
 				}
-			}
-			if got, want := mem.mshr.Len(), len(mem.inflight); got != want {
+				return true
+			})
+			if got, want := mem.mshr.Len(), mem.inflight.Len(); got != want {
 				report(fmt.Sprintf("MSHR holds %d entries but %d fills are in flight", got, want))
 			}
 		}),

@@ -1,8 +1,7 @@
 package sim
 
 import (
-	"container/heap"
-
+	"mlpcache/internal/blockmap"
 	"mlpcache/internal/cache"
 	"mlpcache/internal/core"
 	"mlpcache/internal/dram"
@@ -53,6 +52,12 @@ type MemStats struct {
 	PrefetchUseful  uint64
 	PrefetchUnused  uint64
 	PrefetchLate    uint64
+	// TrackedBlocks is the final population of the flat per-block
+	// footprint store (distinct blocks ever demand-missed or
+	// prefetched). The store grows with the application's footprint and
+	// is never pruned, so this doubles as the memory system's own memory
+	// footprint gauge; exported as sim.mem.tracked_blocks.
+	TrackedBlocks uint64
 }
 
 // DeltaStats is the Table 1 measurement: the distribution of the absolute
@@ -107,14 +112,64 @@ type fill struct {
 	prefetch bool // still a pure prefetch (no demand access merged)
 }
 
-type fillHeap []*fill
+// blockInfo is the per-block record in the memory system's flat
+// footprint store: everything the miss path remembers about a block
+// across its whole lifetime.
+type blockInfo struct {
+	seen       bool    // block has demand-missed before (compulsory classification)
+	hasCost    bool    // lastCost holds a valid previous cost
+	prefetched bool    // resident via a prefetch no demand access has hit yet
+	lastCost   float64 // previous mlp-cost (Table 1 successive-miss deltas)
+}
 
-func (h fillHeap) Len() int           { return len(h) }
-func (h fillHeap) Less(i, j int) bool { return h[i].done < h[j].done }
-func (h fillHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *fillHeap) Push(x any)        { *h = append(*h, x.(*fill)) }
-func (h *fillHeap) Pop() (out any)    { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
-func (h fillHeap) Peek() *fill        { return h[0] }
+// fillHeap is a concrete min-heap of pending fills ordered by completion
+// cycle. It inlines container/heap's exact sift traversals (so heap order
+// — and therefore fill service order among equal completion cycles — is
+// bit-identical to the interface-based version it replaces) without the
+// any-boxing and indirect calls of the container/heap protocol. Pop nils
+// the vacated tail slot so the backing array never retains a serviced
+// fill.
+type fillHeap struct{ h []*fill }
+
+func (h *fillHeap) Len() int   { return len(h.h) }
+func (h *fillHeap) Peek() *fill { return h.h[0] }
+
+func (h *fillHeap) Push(f *fill) {
+	h.h = append(h.h, f)
+	j := len(h.h) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if h.h[j].done >= h.h[i].done {
+			break
+		}
+		h.h[i], h.h[j] = h.h[j], h.h[i]
+		j = i
+	}
+}
+
+func (h *fillHeap) Pop() *fill {
+	n := len(h.h) - 1
+	h.h[0], h.h[n] = h.h[n], h.h[0]
+	i := 0
+	for {
+		j := 2*i + 1 // left child
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h.h[j2].done < h.h[j].done {
+			j = j2
+		}
+		if h.h[j].done >= h.h[i].done {
+			break
+		}
+		h.h[i], h.h[j] = h.h[j], h.h[i]
+		i = j
+	}
+	out := h.h[n]
+	h.h[n] = nil // release the slot; the fill returns to the freelist
+	h.h = h.h[:n]
+	return out
+}
 
 // memSystem is the two-level hierarchy the core issues into. It
 // implements cpu.MemSystem.
@@ -127,17 +182,23 @@ type memSystem struct {
 	hybrid core.Hybrid
 
 	fills    fillHeap
-	inflight map[uint64]*fill // block → pending fill
+	inflight *blockmap.Table[*fill] // block → pending fill; bounded by the MSHR
+	fillFree []*fill                // serviced fills recycled into new misses
 
-	seen     map[uint64]struct{} // blocks ever demand-missed (compulsory)
-	lastCost map[uint64]float64  // block → previous mlp-cost (Table 1)
+	// tracked is the flat per-block footprint store, replacing the three
+	// block-keyed Go maps the miss path used to touch (seen, lastCost,
+	// prefetched). One probe finds all of a block's history. Its
+	// population grows with the run's distinct-block footprint and is
+	// never pruned — by design, since compulsory-miss classification
+	// needs full history; the final size is exported as the
+	// sim.mem.tracked_blocks gauge so runs can watch the footprint.
+	tracked *blockmap.Table[blockInfo]
 
 	costHist *stats.Histogram // Figure 2: mlp-cost, 60-cycle bins
 	delta    DeltaStats
 	mstats   MemStats
 
-	pf         *prefetch.Prefetcher
-	prefetched map[uint64]struct{} // blocks resident via an unused prefetch
+	pf *prefetch.Prefetcher
 
 	// inj, when non-nil, perturbs DRAM latencies (fault injection). A
 	// nil injector is inert, so the hot path needs no flag check.
@@ -165,15 +226,13 @@ func newMemSystem(cfg Config, l2 *cache.Cache, hybrid core.Hybrid, inj *faultinj
 		mshr:     mshr.New(cfg.MSHR),
 		dram:     dram.New(cfg.DRAM),
 		hybrid:   hybrid,
-		inflight: make(map[uint64]*fill),
-		seen:     make(map[uint64]struct{}),
-		lastCost: make(map[uint64]float64),
+		inflight: blockmap.New[*fill](cfg.MSHR.Entries),
+		tracked:  blockmap.New[blockInfo](256),
 		costHist: stats.NewHistogram(60, 8),
 		capture:  cfg.Capture,
 	}
 	if cfg.Prefetch != nil {
 		m.pf = prefetch.New(*cfg.Prefetch)
-		m.prefetched = make(map[uint64]struct{})
 	}
 	if cfg.Trace != nil {
 		m.tr = &clockTracer{dst: cfg.Trace}
@@ -196,6 +255,21 @@ func attachTracer(l2 *cache.Cache, hybrid core.Hybrid, tr metrics.Tracer) {
 			ca.SetTracer(tr)
 		}
 	}
+}
+
+// newFill builds a pending fill, recycling a serviced one from the
+// freelist when available so steady-state miss traffic allocates
+// nothing: the live fill population is bounded by the MSHR, and every
+// serviced fill returns to the list.
+func (m *memSystem) newFill(done, addr uint64, write, prefetch bool) *fill {
+	if n := len(m.fillFree); n > 0 {
+		f := m.fillFree[n-1]
+		m.fillFree[n-1] = nil
+		m.fillFree = m.fillFree[:n-1]
+		*f = fill{done: done, addr: addr, write: write, prefetch: prefetch}
+		return f
+	}
+	return &fill{done: done, addr: addr, write: write, prefetch: prefetch}
 }
 
 // dramRead issues a DRAM read and applies any injected latency jitter to
@@ -225,9 +299,9 @@ func (m *memSystem) trainPrefetcher(block uint64, now uint64) {
 		m.mshr.Allocate(target, false, now)
 		m.mstats.PrefetchIssued++
 		done := m.dramRead(target, now)
-		f := &fill{done: done, addr: addr, prefetch: true}
-		m.inflight[target] = f
-		heap.Push(&m.fills, f)
+		f := m.newFill(done, addr, false, true)
+		m.inflight.Put(target, f)
+		m.fills.Push(f)
 	}
 }
 
@@ -248,9 +322,10 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 			costQ, _ := m.l2.CostOf(addr)
 			m.capture.OnL2Access(block, AccessHit, costQ)
 		}
-		if m.prefetched != nil {
-			if _, ok := m.prefetched[block]; ok {
-				delete(m.prefetched, block)
+		if m.pf != nil {
+			if info, ok := m.tracked.Get(block); ok && info.prefetched {
+				info.prefetched = false
+				m.tracked.Put(block, info)
 				m.mstats.PrefetchUseful++
 			}
 		}
@@ -262,7 +337,7 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 		return now + m.cfg.L1Lat + m.cfg.L2Lat, true
 	}
 	// L2 demand miss.
-	if f, ok := m.inflight[block]; ok {
+	if f, ok := m.inflight.Get(block); ok {
 		// Merge into the in-flight miss (or claim an in-flight
 		// prefetch); completes with it.
 		m.mshr.Allocate(block, true, now)
@@ -279,10 +354,7 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 			f.prefetch = false
 			m.mstats.PrefetchLate++
 			m.mstats.DemandMisses++
-			if _, ok := m.seen[block]; !ok {
-				m.seen[block] = struct{}{}
-				m.mstats.CompulsoryMisses++
-			}
+			m.noteSeen(block)
 			if m.hybrid != nil {
 				m.hybrid.OnAccess(addr, write, false, true)
 			}
@@ -312,16 +384,24 @@ func (m *memSystem) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 		m.hybrid.OnAccess(addr, write, false, true)
 	}
 	m.mstats.DemandMisses++
-	if _, ok := m.seen[block]; !ok {
-		m.seen[block] = struct{}{}
-		m.mstats.CompulsoryMisses++
-	}
+	m.noteSeen(block)
 	done := m.dramRead(block, now+m.cfg.L1Lat+m.cfg.L2Lat)
-	f := &fill{done: done, addr: addr, write: write}
-	m.inflight[block] = f
-	heap.Push(&m.fills, f)
+	f := m.newFill(done, addr, write, false)
+	m.inflight.Put(block, f)
+	m.fills.Push(f)
 	m.trainPrefetcher(block, now)
 	return done, true
+}
+
+// noteSeen records a demand miss on the block, counting it as
+// compulsory on the block's first-ever demand miss.
+func (m *memSystem) noteSeen(block uint64) {
+	info, _ := m.tracked.Get(block)
+	if !info.seen {
+		info.seen = true
+		m.tracked.Put(block, info)
+		m.mstats.CompulsoryMisses++
+	}
 }
 
 // Tick advances the memory side by one cycle: the MSHR cost calculation
@@ -333,18 +413,19 @@ func (m *memSystem) Tick(now uint64) error {
 		m.tr.now = now
 	}
 	m.mshr.Tick(now)
-	for len(m.fills) > 0 && m.fills.Peek().done <= now {
-		f := heap.Pop(&m.fills).(*fill)
+	for m.fills.Len() > 0 && m.fills.Peek().done <= now {
+		f := m.fills.Pop()
 		if err := m.service(f, now); err != nil {
 			return err
 		}
+		m.fillFree = append(m.fillFree, f)
 	}
 	return nil
 }
 
 func (m *memSystem) service(f *fill, now uint64) error {
 	block := m.l2.BlockOf(f.addr)
-	delete(m.inflight, block)
+	m.inflight.Delete(block)
 	cost, err := m.mshr.Free(block, now)
 	if err != nil {
 		return err
@@ -354,28 +435,30 @@ func (m *memSystem) service(f *fill, now uint64) error {
 		// A pure prefetch fill: no demand miss to account, no cost.
 		ev, evicted := m.l2.Fill(f.addr, 0, false)
 		if evicted {
-			if _, ok := m.prefetched[ev.Block]; ok {
-				delete(m.prefetched, ev.Block)
-				m.mstats.PrefetchUnused++
-			}
+			m.notePrefetchEvicted(ev.Block)
 			if ev.Dirty && m.cfg.ModelWritebacks {
 				m.dram.Write(ev.Block, now)
 			}
 		}
-		m.prefetched[block] = struct{}{}
+		info, _ := m.tracked.Get(block)
+		info.prefetched = true
+		m.tracked.Put(block, info)
 		return nil
 	}
 
 	m.costHist.Add(cost)
 	if m.cfg.TrackDeltas {
-		if prev, ok := m.lastCost[block]; ok {
-			d := cost - prev
+		info, _ := m.tracked.Get(block)
+		if info.hasCost {
+			d := cost - info.lastCost
 			if d < 0 {
 				d = -d
 			}
 			m.delta.add(d)
 		}
-		m.lastCost[block] = cost
+		info.hasCost = true
+		info.lastCost = cost
+		m.tracked.Put(block, info)
 	}
 
 	costQ := core.Quantize(cost)
@@ -397,11 +480,8 @@ func (m *memSystem) service(f *fill, now uint64) error {
 
 	ev, evicted := m.l2.Fill(f.addr, costQ, false)
 	if evicted {
-		if m.prefetched != nil {
-			if _, ok := m.prefetched[ev.Block]; ok {
-				delete(m.prefetched, ev.Block)
-				m.mstats.PrefetchUnused++
-			}
+		if m.pf != nil {
+			m.notePrefetchEvicted(ev.Block)
 		}
 		if ev.Dirty && m.cfg.ModelWritebacks {
 			m.dram.Write(ev.Block, now)
@@ -432,14 +512,33 @@ func (m *memSystem) takeInterval() (misses, costQSum uint64) {
 	return misses, costQSum
 }
 
+// notePrefetchEvicted marks an evicted block's unused-prefetch status
+// resolved: a prefetched block leaving the cache untouched counts as an
+// unused prefetch.
+func (m *memSystem) notePrefetchEvicted(block uint64) {
+	if info, ok := m.tracked.Get(block); ok && info.prefetched {
+		info.prefetched = false
+		m.tracked.Put(block, info)
+		m.mstats.PrefetchUnused++
+	}
+}
+
+// statsSnapshot returns the lifetime counters with the footprint gauge
+// stamped from the block store's current population.
+func (m *memSystem) statsSnapshot() MemStats {
+	s := m.mstats
+	s.TrackedBlocks = uint64(m.tracked.Len())
+	return s
+}
+
 // drainInflight reports whether misses are still outstanding (used to let
 // the run loop wind down cleanly).
-func (m *memSystem) drainInflight() bool { return len(m.fills) > 0 }
+func (m *memSystem) drainInflight() bool { return m.fills.Len() > 0 }
 
 // nextFill returns the cycle of the earliest pending DRAM fill, or
 // ^uint64(0) when none is outstanding.
 func (m *memSystem) nextFill() uint64 {
-	if len(m.fills) == 0 {
+	if m.fills.Len() == 0 {
 		return ^uint64(0)
 	}
 	return m.fills.Peek().done

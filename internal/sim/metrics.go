@@ -43,6 +43,7 @@ func (r Result) Metrics() *metrics.Registry {
 	reg.Counter("cache.l2.demand_miss", "misses", "primary L2 demand misses serviced by DRAM").Add(r.Mem.DemandMisses)
 	reg.Counter("cache.l2.merged_miss", "misses", "L2 misses merged into an in-flight entry").Add(r.Mem.MergedMisses)
 	reg.Counter("cache.l2.compulsory_miss", "misses", "first-ever-reference demand misses").Add(r.Mem.CompulsoryMisses)
+	reg.Gauge("sim.mem.tracked_blocks", "blocks", "distinct blocks in the memory system's footprint store").Set(float64(r.Mem.TrackedBlocks))
 
 	// MSHR file (Algorithm 1's home).
 	r.MSHR.Observe(reg)

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mlpcache/internal/cache"
+	"mlpcache/internal/workload"
+)
+
+// TestRanksAgreeWithReferenceAcrossPolicies is the hot-path rewrite's
+// property test: SetView.Ranks (the one-pass ranking the optimized
+// victim functions are built on) and SetView.LRUWay must agree with the
+// per-way RecencyRank reference under every replacement policy in the
+// registry, across randomized fill/touch/demote/invalidate sequences.
+// The policies themselves run live (hybrids included), so the sequences
+// exercise exactly the metadata states real victim decisions see.
+func TestRanksAgreeWithReferenceAcrossPolicies(t *testing.T) {
+	for _, kind := range AllPolicies {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			// A small cache maximizes set pressure and eviction churn.
+			cfg.L2 = cache.Config{Sets: 16, Assoc: 8, BlockBytes: 64}
+			cfg.Policy = PolicySpec{Kind: kind, Seed: 11, LeaderSets: 4}
+			l2, hybrid, err := buildL2(cfg)
+			if err != nil {
+				t.Fatalf("buildL2(%s): %v", kind, err)
+			}
+			rng := rand.New(rand.NewSource(int64(len(kind)) + 17))
+			// Addresses over 4× the cache's block capacity force misses.
+			universe := uint64(4 * 16 * 8)
+			for op := 0; op < 20_000; op++ {
+				addr := (rng.Uint64() % universe) * 64
+				write := rng.Intn(4) == 0
+				switch rng.Intn(10) {
+				case 0: // invalidate
+					l2.Invalidate(addr)
+				case 1: // demote a random valid way, as BIP's fill path does
+					set := rng.Intn(cfg.L2.Sets)
+					view := l2.ViewSet(set)
+					w := rng.Intn(view.Ways())
+					if view.Line(w).Valid {
+						view.Demote(w)
+					}
+				default: // probe, then fill on miss — the memsys access shape
+					hit := l2.Probe(addr, write)
+					if hybrid != nil {
+						hybrid.OnAccess(addr, write, hit, !hit)
+					}
+					if !hit {
+						costQ := uint8(rng.Intn(8))
+						l2.Fill(addr, costQ, write)
+						if hybrid != nil {
+							hybrid.OnFill(addr, costQ)
+						}
+					}
+				}
+				checkRanksAgainstReference(t, l2, cfg.L2.Sets, op)
+				if t.Failed() {
+					return
+				}
+			}
+		})
+	}
+}
+
+// checkRanksAgainstReference compares the optimized ranking primitives
+// with the RecencyRank reference on every set.
+func checkRanksAgainstReference(t *testing.T, c *cache.Cache, sets, op int) {
+	t.Helper()
+	var buf []int
+	for s := 0; s < sets; s++ {
+		view := c.ViewSet(s)
+		buf = view.Ranks(buf)
+		firstInvalid := -1
+		for w := 0; w < view.Ways(); w++ {
+			if !view.Line(w).Valid {
+				if firstInvalid < 0 {
+					firstInvalid = w
+				}
+				continue
+			}
+			if want := view.RecencyRank(w); buf[w] != want {
+				t.Errorf("op %d set %d way %d: Ranks=%d, RecencyRank=%d", op, s, w, buf[w], want)
+				return
+			}
+		}
+		lru := view.LRUWay()
+		switch {
+		case firstInvalid >= 0:
+			if lru != firstInvalid {
+				t.Errorf("op %d set %d: LRUWay=%d, want first invalid way %d", op, s, lru, firstInvalid)
+				return
+			}
+		default:
+			if view.RecencyRank(lru) != 0 {
+				t.Errorf("op %d set %d: LRUWay=%d has rank %d, want 0", op, s, lru, view.RecencyRank(lru))
+				return
+			}
+		}
+	}
+}
+
+// TestFastForwardEquivalenceSweep is the stall fast-forward's
+// equivalence proof over the audited robustness sweep: for every policy
+// in the registry on two benchmark models, a run with fast-forward
+// enabled must produce a Result bit-identical to the cycle-by-cycle
+// reference — cycles, IPC, every counter block, the cost histogram, and
+// the Figure 11 interval series — and both runs must audit clean.
+func TestFastForwardEquivalenceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is a long test")
+	}
+	for _, bench := range []string{"mcf", "parser"} {
+		spec, ok := workload.ByName(bench)
+		if !ok {
+			t.Fatalf("benchmark %q missing", bench)
+		}
+		for _, kind := range AllPolicies {
+			kind := kind
+			t.Run(bench+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				cfg := DefaultConfig()
+				cfg.MaxInstructions = 60_000
+				cfg.Policy = PolicySpec{Kind: kind, Seed: 7}
+				if kind == PolicySBAR {
+					cfg.Policy.RandDynamic = true
+					cfg.EpochInstructions = 20_000
+				}
+				cfg.Audit = true
+				cfg.AuditEvery = 2048
+				cfg.SampleInterval = 10_000
+				fast, err := Run(cfg, spec.Build(11))
+				if err != nil {
+					t.Fatalf("fast-forward run failed: %v", err)
+				}
+				slow := cfg
+				slow.DisableFastForward = true
+				ref, err := Run(slow, spec.Build(11))
+				if err != nil {
+					t.Fatalf("reference run failed: %v", err)
+				}
+				for name, r := range map[string]Result{"fast": fast, "exact": ref} {
+					if r.Audit == nil || !r.Audit.Ok() {
+						t.Fatalf("%s run did not audit clean: %+v", name, r.Audit)
+					}
+				}
+				// The auditor fires per run-loop iteration, so the
+				// fast-forwarded run legitimately completes fewer
+				// passes; everything else must match exactly.
+				fast.Audit, ref.Audit = nil, nil
+				if !reflect.DeepEqual(fast, ref) {
+					t.Fatalf("fast-forward result diverges from exact:\nfast: %+v\nexact: %+v", fast, ref)
+				}
+			})
+		}
+	}
+}

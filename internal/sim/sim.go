@@ -280,7 +280,7 @@ func Run(cfg Config, src trace.Source) (res Result, err error) {
 		L1:           mem.l1.Stats(),
 		L2:           mem.l2.Stats(),
 		DRAM:         mem.dram.Stats(),
-		Mem:          mem.mstats,
+		Mem:          mem.statsSnapshot(),
 		MSHR:         mem.mshr.Stats(),
 		CostHist:     mem.costHist,
 		Delta:        mem.delta,

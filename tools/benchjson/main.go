@@ -1,0 +1,269 @@
+// Command benchjson is the repo's performance-trajectory harness: it
+// runs the root package's benchmark suite (simulator throughput,
+// observability overhead, oracle headroom, trace generation and codec),
+// parses the `go test -bench` text into a machine-readable document, and
+// gates regressions against a committed snapshot.
+//
+//   - -record writes the snapshot (BENCH_PR5.json by convention),
+//     preserving any pre_pr5_baseline section already in the file so the
+//     before/after story survives re-records; -pre imports a raw
+//     `go test -bench` capture as that baseline section.
+//   - -compare re-runs the suite and fails when a benchmark disappears,
+//     when any instr/s figure drops more than -threshold percent (the
+//     simulated work is deterministic, so instr/s moves only with real
+//     code regressions or machine load), or when allocs/op grows more
+//     than -alloc-threshold percent (allocations are deterministic, so
+//     this catches reintroduced per-access allocation immediately).
+//     Wall-clock-only figures (ns/op, MB/s) are reported but not gated:
+//     on a shared machine they are too noisy for a hard 5% gate.
+//
+// Each sample is the best of -count runs, damping scheduler noise the
+// same way benchstat's min-selection does.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchPattern selects the perf-trajectory suite; bench-smoke separately
+// guards that the observability and oracle benchmarks keep existing.
+const benchPattern = "BenchmarkSimulatorThroughput|BenchmarkObservability|BenchmarkOracleHeadroom|BenchmarkGeneratorThroughput|BenchmarkTraceEncode"
+
+// Sample is one benchmark's aggregated figures. Only the units the
+// suite emits are modeled; absent figures are zero and omitted.
+type Sample struct {
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	InstrPerSec float64 `json:"instr_per_s,omitempty"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the committed document.
+type Snapshot struct {
+	Schema     string            `json:"schema"`
+	Go         string            `json:"go"`
+	Note       string            `json:"note,omitempty"`
+	Count      int               `json:"count"`
+	Benchtime  string            `json:"benchtime"`
+	PreBase    map[string]Sample `json:"pre_pr5_baseline,omitempty"`
+	Benchmarks map[string]Sample `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		record    = flag.Bool("record", false, "run the suite and write the snapshot")
+		compare   = flag.Bool("compare", false, "run the suite and gate against the snapshot")
+		out       = flag.String("out", "BENCH_PR5.json", "snapshot path for -record")
+		baseline  = flag.String("baseline", "BENCH_PR5.json", "snapshot path for -compare")
+		pre       = flag.String("pre", "", "raw `go test -bench` capture to import as pre_pr5_baseline (with -record)")
+		note      = flag.String("note", "", "free-form note stored in the snapshot")
+		count     = flag.Int("count", 2, "benchmark repetitions; best-of wins")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		threshold = flag.Float64("threshold", 5, "max tolerated instr/s drop, percent")
+		allocThr  = flag.Float64("alloc-threshold", 20, "max tolerated allocs/op growth, percent")
+	)
+	flag.Parse()
+	switch {
+	case *record == *compare:
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -record or -compare is required")
+		os.Exit(2)
+	case *record:
+		if err := doRecord(*out, *pre, *note, *count, *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	case *compare:
+		if err := doCompare(*baseline, *count, *benchtime, *threshold, *allocThr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runSuite(count int, benchtime string) (map[string]Sample, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", benchPattern,
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), "-benchmem", ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	samples := parseBench(string(raw))
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in go test output")
+	}
+	return samples, nil
+}
+
+// resultLine matches one benchmark result: name, iteration count, then
+// value/unit pairs handled field-by-field below.
+var resultLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// gomaxprocsSuffix strips the -8 style suffix go test appends to
+// benchmark names, so snapshots transfer between machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench folds every result line into best-of samples per benchmark:
+// throughput units (instr/s, MB/s) keep the maximum across repetitions,
+// cost units (ns/op, B/op, allocs/op) the minimum.
+func parseBench(out string) map[string]Sample {
+	samples := make(map[string]Sample)
+	for _, line := range strings.Split(out, "\n") {
+		m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		var s Sample
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = v
+			case "instr/s":
+				s.InstrPerSec = v
+			case "MB/s":
+				s.MBPerSec = v
+			case "B/op":
+				s.BytesPerOp = v
+			case "allocs/op":
+				s.AllocsPerOp = v
+			}
+		}
+		prev, seen := samples[name]
+		if !seen {
+			samples[name] = s
+			continue
+		}
+		samples[name] = Sample{
+			NsPerOp:     minNonzero(prev.NsPerOp, s.NsPerOp),
+			InstrPerSec: max(prev.InstrPerSec, s.InstrPerSec),
+			MBPerSec:    max(prev.MBPerSec, s.MBPerSec),
+			BytesPerOp:  minNonzero(prev.BytesPerOp, s.BytesPerOp),
+			AllocsPerOp: minNonzero(prev.AllocsPerOp, s.AllocsPerOp),
+		}
+	}
+	return samples
+}
+
+func minNonzero(a, b float64) float64 {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	return min(a, b)
+}
+
+func doRecord(out, pre, note string, count int, benchtime string) error {
+	snap := Snapshot{
+		Schema:    "mlpcache-bench/v1",
+		Go:        runtime.Version(),
+		Note:      note,
+		Count:     count,
+		Benchtime: benchtime,
+	}
+	// Carry the pre-optimization baseline forward across re-records.
+	if prevRaw, err := os.ReadFile(out); err == nil {
+		var prev Snapshot
+		if json.Unmarshal(prevRaw, &prev) == nil {
+			snap.PreBase = prev.PreBase
+			if note == "" {
+				snap.Note = prev.Note
+			}
+		}
+	}
+	if pre != "" {
+		raw, err := os.ReadFile(pre)
+		if err != nil {
+			return fmt.Errorf("reading -pre capture: %w", err)
+		}
+		snap.PreBase = parseBench(string(raw))
+	}
+	samples, err := runSuite(count, benchtime)
+	if err != nil {
+		return err
+	}
+	snap.Benchmarks = samples
+	doc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks to %s\n", len(samples), out)
+	return nil
+}
+
+func doCompare(baseline string, count int, benchtime string, threshold, allocThr float64) error {
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run `make bench-record` first): %w", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("parsing %s: %w", baseline, err)
+	}
+	current, err := runSuite(count, benchtime)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(snap.Benchmarks))
+	for name := range snap.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		want := snap.Benchmarks[name]
+		got, ok := current[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: benchmark disappeared from the suite", name))
+			continue
+		}
+		if want.InstrPerSec > 0 {
+			drop := 100 * (want.InstrPerSec - got.InstrPerSec) / want.InstrPerSec
+			status := "ok"
+			if drop > threshold {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf(
+					"%s: instr/s dropped %.1f%% (%.0f -> %.0f, gate %.1f%%)",
+					name, drop, want.InstrPerSec, got.InstrPerSec, threshold))
+			}
+			fmt.Fprintf(os.Stderr, "%-45s instr/s %12.0f -> %12.0f (%+.1f%%) %s\n",
+				name, want.InstrPerSec, got.InstrPerSec, -drop, status)
+		} else if want.NsPerOp > 0 && got.NsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "%-45s ns/op   %12.0f -> %12.0f (%+.1f%%) info\n",
+				name, want.NsPerOp, got.NsPerOp, 100*(got.NsPerOp-want.NsPerOp)/want.NsPerOp)
+		}
+		if want.AllocsPerOp > 0 {
+			growth := 100 * (got.AllocsPerOp - want.AllocsPerOp) / want.AllocsPerOp
+			if growth > allocThr {
+				failures = append(failures, fmt.Sprintf(
+					"%s: allocs/op grew %.1f%% (%.0f -> %.0f, gate %.1f%%)",
+					name, growth, want.AllocsPerOp, got.AllocsPerOp, allocThr))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("performance regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: no regressions against", baseline)
+	return nil
+}
