@@ -349,6 +349,43 @@ func BenchmarkObservability(b *testing.B) {
 	b.Run("metrics", func(b *testing.B) { run(b, nil, true) })
 }
 
+// BenchmarkTracingV2 compares the cost of full event tracing across the
+// two encodings against an untraced run: "off" is the plain simulation,
+// "jsonl" streams every event through the v1 JSONL tracer, and "v2"
+// through the binary mlpcache.events/v2 tracer. The acceptance contract
+// (enforced by `make bench-compare`) is that v2's allocs/op stay within
+// 2x of off — the binary encoder's steady-state Emit path allocates
+// nothing, so traced and untraced runs allocate alike. A fresh tracer is
+// built per iteration; its setup (header, string table, scratch buffer)
+// is part of the measured cost, as it is in real runs.
+func BenchmarkTracingV2(b *testing.B) {
+	run := func(b *testing.B, mk func() metrics.Tracer) {
+		spec, _ := workload.ByName("equake")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := sim.DefaultConfig()
+			cfg.MaxInstructions = benchInstructions
+			if mk != nil {
+				cfg.Trace = mk()
+			}
+			sim.MustRun(cfg, spec.Build(42))
+		}
+		b.ReportMetric(float64(benchInstructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("jsonl", func(b *testing.B) {
+		run(b, func() metrics.Tracer {
+			return metrics.NewJSONLTracer(io.Discard, metrics.RunHeader{Bench: "equake"})
+		})
+	})
+	b.Run("v2", func(b *testing.B) {
+		run(b, func() metrics.Tracer {
+			return metrics.NewBinaryTracer(io.Discard, metrics.RunHeader{Bench: "equake"})
+		})
+	})
+}
+
 // BenchmarkOracleHeadroom measures the offline oracle pipeline end to
 // end — capture a live LRU run's L2 stream, then replay it under
 // Belady, cost-weighted Belady and EHC at the live geometry — and

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"mlpcache"
+	"mlpcache/internal/faultinject"
 )
 
 // End-to-end tests of the three command-line tools: build each binary
@@ -327,9 +328,15 @@ func runDocCommands(t *testing.T, dir, section string, minCmds int) {
 			switch args[i] {
 			case "-n":
 				args[i+1] = "60000"
-			case "-metrics", "-trace-events", "-cpuprofile", "-memprofile":
+			case "-snapshot-interval":
+				args[i+1] = "20000"
+			case "-metrics", "-trace-events", "-cpuprofile", "-memprofile", "-o":
 				args[i+1] = filepath.Join(dir, args[i+1])
 				outputs = append(outputs, args[i+1])
+			case "-events":
+				// An input file a previous documented command wrote
+				// into dir; redirect the path, don't expect output.
+				args[i+1] = filepath.Join(dir, args[i+1])
 			case "-bench":
 				hasBench = true
 			}
@@ -348,13 +355,14 @@ func runDocCommands(t *testing.T, dir, section string, minCmds int) {
 	}
 }
 
-// TestExperimentsCommandsRun executes both documented command blocks of
-// EXPERIMENTS.md: the full reproduction flow and the oracle-headroom
-// section.
+// TestExperimentsCommandsRun executes the documented command blocks of
+// EXPERIMENTS.md: the full reproduction flow, the oracle-headroom
+// section, and the binary event capture/decode pipeline.
 func TestExperimentsCommandsRun(t *testing.T) {
 	dir := buildTools(t)
 	runDocCommands(t, dir, "Reproducing with metrics export", 5)
 	runDocCommands(t, dir, "Measuring oracle headroom", 4)
+	runDocCommands(t, dir, "Binary event capture and decode", 5)
 }
 
 // TestCLIOracle drives mlpsim -oracle end to end: the text report must
@@ -467,6 +475,195 @@ func TestCLITraceEventFilter(t *testing.T) {
 	if !strings.Contains(string(out), "bogus") || strings.Contains(string(out), "panic:") {
 		t.Fatalf("bad diagnostic for unknown filter token:\n%s", out)
 	}
+}
+
+// TestCLIEventsV2 drives the mlpcache.events/v2 pipeline at the process
+// boundary: capture the same run in both encodings, decode the binary
+// one with mlptrace, and require the decoded JSONL to byte-equal the
+// directly-written v1 file; then check -stats/-filter/-limit, snapshot
+// emission, run.start framing under mlpexp -workers, and that truncated
+// or bit-flipped v2 files fail with a one-line diagnostic.
+func TestCLIEventsV2(t *testing.T) {
+	dir := buildTools(t)
+
+	v1 := filepath.Join(dir, "cap.v1.jsonl")
+	v2 := filepath.Join(dir, "cap.v2.bin")
+	runTool(t, dir, "mlpsim", "-bench", "mcf", "-n", "150000", "-hist=false",
+		"-trace-events", v1)
+	runTool(t, dir, "mlpsim", "-bench", "mcf", "-n", "150000", "-hist=false",
+		"-trace-events", v2, "-trace-events-format", "v2")
+
+	t.Run("decode-byte-identical", func(t *testing.T) {
+		decoded := runTool(t, dir, "mlptrace", "-events", v2, "-decode")
+		want, err := os.ReadFile(v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decoded != string(want) {
+			t.Fatalf("decoded v2 differs from the directly-written v1 document (%d vs %d bytes)",
+				len(decoded), len(want))
+		}
+	})
+
+	t.Run("v2-is-smaller", func(t *testing.T) {
+		i1, err := os.Stat(v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i2, err := os.Stat(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i2.Size() >= i1.Size() {
+			t.Fatalf("v2 capture (%d bytes) not smaller than v1 (%d bytes)", i2.Size(), i1.Size())
+		}
+	})
+
+	t.Run("stats", func(t *testing.T) {
+		out := runTool(t, dir, "mlptrace", "-events", v2, "-stats")
+		for _, want := range []string{"mlpcache.events/v2", "miss.issue", "miss.fill", "bench"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("-stats output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("filter-and-limit", func(t *testing.T) {
+		out := runTool(t, dir, "mlptrace", "-events", v2, "-decode", "-filter", "miss.fill", "-limit", "7")
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		// Header plus at most 7 events, all of the filtered type.
+		if len(lines) > 8 {
+			t.Fatalf("-limit 7 decoded %d lines", len(lines)-1)
+		}
+		for _, line := range lines[1:] {
+			var ev mlpcache.TraceEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatal(err)
+			}
+			if ev.Type != "miss.fill" {
+				t.Fatalf("filtered decode leaked type %q", ev.Type)
+			}
+		}
+	})
+
+	t.Run("snapshots", func(t *testing.T) {
+		snap := filepath.Join(dir, "snap.v2.bin")
+		runTool(t, dir, "mlpsim", "-bench", "mcf", "-n", "150000", "-hist=false",
+			"-trace-events", snap, "-trace-events-format", "v2", "-snapshot-interval", "50000")
+		out := runTool(t, dir, "mlptrace", "-events", snap, "-decode", "-filter", "snapshot")
+		for _, want := range []string{"snapshot.ipc", "snapshot.mpki", "snapshot.avg_cost_q",
+			"snapshot.mshr_occupancy", "snapshot.cost_hist"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("snapshot decode missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("mlpexp-workers-framing", func(t *testing.T) {
+		exp := filepath.Join(dir, "exp.v2.bin")
+		runTool(t, dir, "mlpexp", "-run", "fig9", "-bench", "mcf,parser", "-n", "60000",
+			"-workers", "4", "-trace-events", exp, "-trace-events-format", "v2")
+		out := runTool(t, dir, "mlptrace", "-events", exp, "-decode")
+		runs := 0
+		sc := bufio.NewScanner(strings.NewReader(out))
+		sc.Buffer(make([]byte, 1<<16), 1<<20)
+		sc.Scan() // header
+		var sawEvent bool
+		for sc.Scan() {
+			var ev mlpcache.TraceEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatal(err)
+			}
+			if ev.Type == "run.start" {
+				runs++
+			} else if runs == 0 && !sawEvent {
+				t.Fatal("events before the first run.start boundary")
+			}
+			sawEvent = true
+		}
+		if runs < 2 {
+			t.Fatalf("expected at least 2 run.start boundaries, decoded %d", runs)
+		}
+	})
+
+	// Failure paths: a corrupted v2 file must produce a one-line typed
+	// diagnostic and exit 1 — never a panic.
+	mustFailCleanly := func(t *testing.T, tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(dir, tool), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s %v: expected non-zero exit\n%s", tool, args, out)
+		}
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%s %v: did not run: %v", tool, args, err)
+		}
+		if strings.Contains(string(out), "panic:") || strings.Contains(string(out), "goroutine ") {
+			t.Fatalf("%s %v: panic escaped to the user:\n%s", tool, args, out)
+		}
+		return string(out)
+	}
+
+	good, err := os.ReadFile(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated-fails", func(t *testing.T) {
+		bad := filepath.Join(dir, "trunc.v2.bin")
+		if err := os.WriteFile(bad, faultinject.Truncate(good, 10), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out := mustFailCleanly(t, "mlptrace", "-events", bad, "-decode")
+		if !strings.Contains(out, "mlptrace:") {
+			t.Fatalf("diagnostic not one-line prefixed:\n%s", out)
+		}
+	})
+
+	t.Run("bitflipped-fails", func(t *testing.T) {
+		// Flip bits in the record region (past magic+header) — with the
+		// varint framing gone, decoding must fail, and cleanly. The
+		// corruption is deterministic (fixed seed over fixed bytes), so
+		// this cannot flake.
+		bad := filepath.Join(dir, "flip.v2.bin")
+		if err := os.WriteFile(bad, faultinject.FlipBits(good, 7, 64, 80), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(filepath.Join(dir, "mlptrace"), "-events", bad, "-decode")
+		out, err := cmd.CombinedOutput()
+		// Decoding may legitimately succeed if every flipped bit lands in
+		// field payloads rather than framing; what must never happen is a
+		// panic or a silent half-write on failure.
+		if strings.Contains(string(out), "panic:") || strings.Contains(string(out), "goroutine ") {
+			t.Fatalf("panic on bit-flipped input:\n%s", out)
+		}
+		if err != nil && !strings.Contains(string(out), "mlptrace:") {
+			t.Fatalf("failure without a one-line diagnostic:\n%s", out)
+		}
+	})
+
+	t.Run("not-a-v2-file-fails", func(t *testing.T) {
+		out := mustFailCleanly(t, "mlptrace", "-events", v1, "-decode")
+		if !strings.Contains(out, "magic") {
+			t.Fatalf("diagnostic does not mention the bad magic:\n%s", out)
+		}
+	})
+
+	t.Run("bad-format-flag-fails", func(t *testing.T) {
+		out := mustFailCleanly(t, "mlpsim", "-bench", "mcf", "-n", "1000",
+			"-trace-events", filepath.Join(dir, "x.bin"), "-trace-events-format", "v3")
+		if !strings.Contains(out, "v3") {
+			t.Fatalf("diagnostic does not name the bad format:\n%s", out)
+		}
+	})
+
+	t.Run("snapshot-without-trace-fails", func(t *testing.T) {
+		out := mustFailCleanly(t, "mlpsim", "-bench", "mcf", "-n", "1000",
+			"-snapshot-interval", "500")
+		if !strings.Contains(out, "trace-events") {
+			t.Fatalf("diagnostic does not point at -trace-events:\n%s", out)
+		}
+	})
 }
 
 // TestCLIWorkers checks mlpexp -workers produces the same table at any

@@ -2,9 +2,12 @@
 // experiment prints a paper-style table to stdout in the chosen -format
 // (text, csv, or json); telemetry goes to files: -metrics appends one
 // metrics document per fresh simulation, -trace-events streams the event
-// JSONL with run.start boundaries between runs, and
-// -cpuprofile/-memprofile write pprof profiles. See DESIGN.md §4 for the
-// experiment index and docs/OBSERVABILITY.md for the telemetry schemas.
+// trace with run.start boundaries between runs in the encoding
+// -trace-events-format selects (v1 JSONL or the compact v2 binary that
+// mlptrace -events decodes), -snapshot-interval adds periodic snapshot.*
+// gauges per run, and -cpuprofile/-memprofile write pprof profiles. See
+// DESIGN.md §4 for the experiment index and docs/OBSERVABILITY.md for
+// the telemetry schemas and record layouts.
 //
 // Examples:
 //
@@ -35,8 +38,10 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent simulations per experiment (0: GOMAXPROCS, 1: serial)")
 		format      = flag.String("format", "text", "output format: text, csv or json")
 		metricsPath = flag.String("metrics", "", "append each fresh run's metric set as JSONL (mlpcache.metrics/v1) to this file")
-		eventsPath  = flag.String("trace-events", "", "stream simulator events as JSONL (mlpcache.events/v1) to this file")
-		evSample    = flag.Uint64("trace-events-sample", 0, "keep every Nth traced event (0 or 1: all; run.start always kept)")
+		eventsPath  = flag.String("trace-events", "", "stream simulator events to this file (see -trace-events-format)")
+		evFormat    = flag.String("trace-events-format", "v1", "event-trace encoding: v1 (mlpcache.events/v1 JSONL) or v2 (compact binary; decode with mlptrace -events)")
+		snapEvery   = flag.Uint64("snapshot-interval", 0, "emit snapshot.* gauge events into -trace-events every N retired instructions per run (0: off)")
+		evSample    = flag.Uint64("trace-events-sample", 0, "keep every Nth traced event (0 or 1: all; run.start and snapshot.* always kept)")
 		evFilter    = flag.String("trace-events-filter", "", "comma-separated event types to trace, e.g. miss,victim (empty: all; run.start always kept)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -74,15 +79,22 @@ func main() {
 	}
 	var (
 		eventsFile *os.File
-		tracer     *metrics.JSONLTracer
+		tracer     metrics.FileTracer
 	)
+	if *snapEvery > 0 && *eventsPath == "" {
+		fatal("snapshot-interval needs -trace-events (snapshots are emitted into the event stream)")
+	}
 	if *eventsPath != "" {
 		eventsFile, err = os.Create(*eventsPath)
 		if err != nil {
 			fatal("%v", err)
 		}
-		tracer = metrics.NewJSONLTracer(eventsFile, metrics.RunHeader{Seed: *seed})
+		tracer, err = metrics.NewFileTracer(eventsFile, *evFormat, metrics.RunHeader{Seed: *seed})
+		if err != nil {
+			fatal("trace-events-format: %v", err)
+		}
 		r.Trace = tracer
+		r.SnapshotInterval = *snapEvery
 		if *evSample > 1 || *evFilter != "" {
 			types, err := metrics.ParseEventFilter(*evFilter)
 			if err != nil {

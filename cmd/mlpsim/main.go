@@ -4,9 +4,12 @@
 //
 // Reports go to stdout; telemetry goes to files: -json swaps the text
 // report for a machine-readable one (schema "mlpcache.run/v1"), -metrics
-// and -trace-events stream JSONL documents to the given paths, and
+// streams a JSONL document, -trace-events streams the event trace in the
+// encoding -trace-events-format selects (v1 JSONL, or the compact v2
+// binary that mlptrace -events decodes), -snapshot-interval adds
+// periodic snapshot.* gauges to that stream, and
 // -cpuprofile/-memprofile write pprof profiles. docs/OBSERVABILITY.md
-// documents every metric name, event type and schema.
+// documents every metric name, event type, schema and record layout.
 //
 // Examples:
 //
@@ -14,6 +17,7 @@
 //	mlpsim -bench mcf -policy lin -lambda 4 -n 2000000
 //	mlpsim -bench ammp -policy sbar -leaders 32 -n 4000000 -series
 //	mlpsim -bench mcf -json -metrics out.jsonl -trace-events ev.jsonl
+//	mlpsim -bench mcf -trace-events ev.bin -trace-events-format v2 -snapshot-interval 250000
 //	mlpsim -bench mcf -policy lru -oracle
 //	mlpsim -list
 package main
@@ -56,8 +60,10 @@ func main() {
 		bp          = flag.Bool("bpred", false, "use a live gshare/per-address hybrid branch predictor instead of oracle flags")
 		jsonOut     = flag.Bool("json", false, "print a machine-readable run report (mlpcache.run/v1) instead of text")
 		metricsPath = flag.String("metrics", "", "write the run's metric set as JSONL (mlpcache.metrics/v1) to this file")
-		eventsPath  = flag.String("trace-events", "", "stream simulator events as JSONL (mlpcache.events/v1) to this file")
-		evSample    = flag.Uint64("trace-events-sample", 0, "keep every Nth traced event (0 or 1: all; run.start always kept)")
+		eventsPath  = flag.String("trace-events", "", "stream simulator events to this file (see -trace-events-format)")
+		evFormat    = flag.String("trace-events-format", "v1", "event-trace encoding: v1 (mlpcache.events/v1 JSONL) or v2 (compact binary; decode with mlptrace -events)")
+		snapEvery   = flag.Uint64("snapshot-interval", 0, "emit snapshot.* gauge events into -trace-events every N retired instructions (0: off)")
+		evSample    = flag.Uint64("trace-events-sample", 0, "keep every Nth traced event (0 or 1: all; run.start and snapshot.* always kept)")
 		evFilter    = flag.String("trace-events-filter", "", "comma-separated event types to trace, e.g. miss,victim (empty: all; run.start always kept)")
 		oracleFlag  = flag.Bool("oracle", false, "capture the L2 access stream and report offline oracle headroom (Belady, cost-weighted Belady, EHC)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -137,17 +143,24 @@ func main() {
 
 	var (
 		eventsFile *os.File
-		tracer     *metrics.JSONLTracer
+		tracer     metrics.FileTracer
 	)
+	if *snapEvery > 0 && *eventsPath == "" {
+		fatal(2, "snapshot-interval needs -trace-events (snapshots are emitted into the event stream)")
+	}
 	if *eventsPath != "" {
 		eventsFile, err = os.Create(*eventsPath)
 		if err != nil {
 			fatal(1, "%v", err)
 		}
-		tracer = metrics.NewJSONLTracer(eventsFile, metrics.RunHeader{
+		tracer, err = metrics.NewFileTracer(eventsFile, *evFormat, metrics.RunHeader{
 			Bench: *bench, Policy: cfg.Policy.String(), Seed: *seed,
 		})
+		if err != nil {
+			fatal(2, "trace-events-format: %v", err)
+		}
 		cfg.Trace = tracer
+		cfg.SnapshotInterval = *snapEvery
 		if *evSample > 1 || *evFilter != "" {
 			types, err := metrics.ParseEventFilter(*evFilter)
 			if err != nil {

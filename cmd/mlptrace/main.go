@@ -1,20 +1,37 @@
-// Command mlptrace generates, inspects and summarizes binary instruction
-// traces in the trace package's on-disk format, decoupling workload
-// generation from simulation. -cpuprofile/-memprofile write pprof
-// profiles (see docs/OBSERVABILITY.md).
+// Command mlptrace works with the repo's two binary stream formats:
+// instruction traces (the trace package's on-disk format, decoupling
+// workload generation from simulation) and mlpcache.events/v2 event
+// traces (the compact binary telemetry mlpsim/mlpexp write under
+// -trace-events-format v2).
+//
+// Instruction-trace modes: -gen writes a workload model's stream, -dump
+// prints records, -stats summarizes a file. Event-trace modes take
+// -events ev.bin plus an action: -decode (the default) streams the file
+// back out as schema-identical mlpcache.events/v1 JSONL on stdout — the
+// decoded document is this mode's report, pipe-friendly for every
+// existing JSONL consumer — optionally restricted by -filter and
+// -limit; -stats prints per-type counts and the cycle span instead.
+// -cpuprofile/-memprofile write pprof profiles (see
+// docs/OBSERVABILITY.md for schemas and the v2 record layout).
 //
 // Examples:
 //
 //	mlptrace -gen mcf -n 1000000 -o mcf.trace
 //	mlptrace -dump mcf.trace -limit 20
 //	mlptrace -stats mcf.trace
+//	mlptrace -events ev.bin -decode
+//	mlptrace -events ev.bin -decode -filter snapshot -limit 40
+//	mlptrace -events ev.bin -stats
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"mlpcache/internal/metrics"
 	"mlpcache/internal/prof"
 	"mlpcache/internal/trace"
 	"mlpcache/internal/workload"
@@ -24,19 +41,52 @@ import (
 // can run.
 var stopProf = func() error { return nil }
 
+// optPath is a flag that works both bare (`-stats`, selecting the
+// events-mode action) and with a value (`-stats file.trace`, the
+// instruction-trace mode). Bare use records only that the flag was set;
+// the legacy positional file then arrives via flag.Arg(0).
+type optPath struct {
+	set  bool
+	path string
+}
+
+func (o *optPath) String() string { return o.path }
+
+func (o *optPath) Set(s string) error {
+	o.set = true
+	// Bool-flag syntax feeds the literal "true"/"false"; anything else
+	// is a file path.
+	if s != "true" && s != "false" {
+		o.path = s
+	}
+	return nil
+}
+
+func (o *optPath) IsBoolFlag() bool { return true }
+
 func main() {
+	var stat optPath
+	flag.Var(&stat, "stats", "summarize a file: an instruction trace (`-stats tr.trace`), or with -events the v2 event stream (bare `-stats`)")
 	var (
 		gen        = flag.String("gen", "", "benchmark model to generate (see mlpsim -list)")
 		n          = flag.Int("n", 1_000_000, "instructions to generate")
 		seed       = flag.Uint64("seed", 42, "workload seed")
 		out        = flag.String("o", "", "output trace file (with -gen)")
 		dump       = flag.String("dump", "", "trace file to print")
-		limit      = flag.Int("limit", 50, "instructions to print (with -dump)")
-		stat       = flag.String("stats", "", "trace file to summarize")
+		limit      = flag.Int("limit", 50, "records to print: instructions with -dump (default 50), events with -events (default all)")
+		events     = flag.String("events", "", "mlpcache.events/v2 binary event file to decode or summarize")
+		decode     = flag.Bool("decode", false, "with -events: write the stream as mlpcache.events/v1 JSONL to stdout (the default action)")
+		filter     = flag.String("filter", "", "with -events -decode: comma-separated event types to keep, e.g. miss,victim (empty: all; run.start always kept)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	// `mlptrace -stats tr.trace` parses as a bare -stats plus one
+	// positional argument; stitch the legacy form back together.
+	if stat.set && stat.path == "" && *events == "" && flag.NArg() > 0 {
+		stat.path = flag.Arg(0)
+	}
 
 	var err error
 	stopProf, err = prof.Start(*cpuProfile, *memProfile)
@@ -45,6 +95,16 @@ func main() {
 	}
 
 	switch {
+	case *events != "":
+		if stat.set {
+			err = eventsStats(*events)
+		} else {
+			_ = decode // -decode is the default action; the flag exists for explicitness
+			err = eventsDecode(*events, *filter, eventLimit(*limit))
+		}
+		if err != nil {
+			fatal(err)
+		}
 	case *gen != "":
 		if err := generate(*gen, *out, *n, *seed); err != nil {
 			fatal(err)
@@ -53,8 +113,8 @@ func main() {
 		if err := dumpTrace(*dump, *limit); err != nil {
 			fatal(err)
 		}
-	case *stat != "":
-		if err := statsTrace(*stat); err != nil {
+	case stat.set && stat.path != "":
+		if err := statsTrace(stat.path); err != nil {
 			fatal(err)
 		}
 	default:
@@ -65,6 +125,22 @@ func main() {
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
+}
+
+// eventLimit resolves -limit for events mode: unless the user set the
+// flag, decode the whole stream (the -dump default of 50 would silently
+// truncate conversions).
+func eventLimit(limit int) int {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "limit" {
+			set = true
+		}
+	})
+	if !set {
+		return -1
+	}
+	return limit
 }
 
 func fatal(err error) {
@@ -145,6 +221,115 @@ func dumpTrace(path string, limit int) error {
 		}
 	}
 	return r.Err()
+}
+
+// eventsDecode streams an mlpcache.events/v2 file back out as
+// mlpcache.events/v1 JSONL. The decoded document is the mode's report —
+// it goes to stdout by design (via a buffered writer), so existing JSONL
+// consumers can pipe straight from it. filter optionally restricts event
+// types (run.start always passes); limit < 0 means the whole stream.
+func eventsDecode(path, filter string, limit int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := metrics.NewEventsReader(f)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(os.Stdout)
+	jt := metrics.NewJSONLTracer(w, rd.Header())
+	var dst metrics.Tracer = jt
+	if filter != "" {
+		types, err := metrics.ParseEventFilter(filter)
+		if err != nil {
+			return err
+		}
+		dst = metrics.NewFilterTracer(jt, 0, types)
+	}
+	for limit != 0 {
+		ev, ok := rd.Next()
+		if !ok {
+			break
+		}
+		dst.Emit(ev)
+		if limit > 0 {
+			limit--
+		}
+	}
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if err := jt.Flush(); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// eventsStats summarizes an mlpcache.events/v2 file: header fields,
+// per-type counts, run count, and the cycle span.
+func eventsStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := metrics.NewEventsReader(f)
+	if err != nil {
+		return err
+	}
+	var (
+		total, runs    uint64
+		minCyc, maxCyc uint64
+		haveCyc        bool
+		counts         = map[metrics.EventType]uint64{}
+	)
+	for {
+		ev, ok := rd.Next()
+		if !ok {
+			break
+		}
+		total++
+		counts[ev.Type]++
+		if ev.Type == metrics.EventRunStart {
+			runs++
+			continue
+		}
+		if !haveCyc || ev.Cycle < minCyc {
+			minCyc = ev.Cycle
+			haveCyc = true
+		}
+		if ev.Cycle > maxCyc {
+			maxCyc = ev.Cycle
+		}
+	}
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	hdr := rd.Header()
+	fmt.Printf("schema            %s\n", hdr.Schema)
+	if hdr.Bench != "" {
+		fmt.Printf("bench             %s\n", hdr.Bench)
+	}
+	if hdr.Policy != "" {
+		fmt.Printf("policy            %s\n", hdr.Policy)
+	}
+	fmt.Printf("seed              %d\n", hdr.Seed)
+	fmt.Printf("events            %d\n", total)
+	fmt.Printf("runs (run.start)  %d\n", runs)
+	if haveCyc {
+		fmt.Printf("cycle span        %d..%d\n", minCyc, maxCyc)
+	}
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Printf("  %-20s %d\n", t, counts[metrics.EventType(t)])
+	}
+	return nil
 }
 
 func statsTrace(path string) error {

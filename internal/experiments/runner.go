@@ -54,6 +54,12 @@ type Runner struct {
 	// consumers split on survives parallelism. Memoized replays emit
 	// nothing — their events were already streamed.
 	Trace metrics.Tracer
+	// SnapshotInterval, when non-zero and Trace is set, makes every
+	// fresh simulation emit the snapshot.* gauge family through the
+	// tracer every that many retired instructions (the mlpexp
+	// -snapshot-interval flag; see sim.Config.SnapshotInterval). It
+	// does not alter results, so memoization keys ignore it.
+	SnapshotInterval uint64
 	// OnResult, when non-nil, observes every fresh (non-memoized)
 	// simulation's result; mlpexp uses it to append per-run metrics
 	// documents to a JSONL file. Calls are serialized.
@@ -256,6 +262,9 @@ func (r *Runner) simulate(bench string, spec sim.PolicySpec, interval, epoch uin
 	onResult := r.OnResult
 	if silent {
 		trace, onResult = nil, nil
+	}
+	if trace != nil {
+		cfg.SnapshotInterval = r.SnapshotInterval
 	}
 	start := metrics.Event{Type: metrics.EventRunStart, Label: bench, Policy: spec.String()}
 

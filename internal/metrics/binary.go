@@ -1,0 +1,547 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"mlpcache/internal/simerr"
+)
+
+// The mlpcache.events/v2 compact binary event encoding. Full-fidelity
+// event capture under JSONL costs ~3x the allocations of an untraced
+// run; v2 brings a traced run to allocation parity so every victim and
+// fill event of a real workload can be kept (docs/OBSERVABILITY.md,
+// "Binary events"). Layout:
+//
+//	magic   "MLPE\x02"
+//	header  uvarint length, then the RunHeader as JSON with
+//	        schema "mlpcache.events/v2"
+//	records repeated until EOF:
+//	  id     1 byte: the event type's registered record ID (eventIDs)
+//	  mask   uvarint: one bit per present (non-zero) Event field, in
+//	         the fMask constants' order
+//	  fields present fields in mask order — cycle/addr/block as zig-zag
+//	         varint deltas against the previous record's values, small
+//	         ints as zig-zag varints, cost/gauge as 8-byte little-endian
+//	         IEEE-754 bits (exact round-trip), strings as interning
+//	         references (0 = new string: uvarint length + bytes,
+//	         assigned the next index; n>0 = previously seen string n)
+//
+// Absent mask bits mean zero/empty — exactly the v1 JSONL omitempty
+// semantics — so decode followed by JSONL re-encoding reproduces the v1
+// document byte for byte.
+
+// EventsSchemaV2 identifies the compact binary event-trace format (the
+// embedded header's "schema" field; decoders rewrite it to EventsSchema
+// when converting back to JSONL).
+const EventsSchemaV2 = "mlpcache.events/v2"
+
+var eventsMagic = []byte("MLPE\x02")
+
+// ErrBadEventsMagic is returned by NewEventsReader when the input does
+// not start with the v2 magic. It wraps simerr.ErrCorruptTrace so
+// callers can classify it with either sentinel.
+var ErrBadEventsMagic = simerr.New(simerr.ErrCorruptTrace,
+	"metrics: bad magic (not an mlpcache.events/v2 file)")
+
+// Field-presence mask bits, one per Event field, in wire order.
+const (
+	fCycle = 1 << iota
+	fAddr
+	fBlock
+	fSet
+	fWay
+	fCost
+	fCostQ
+	fRecency
+	fScore
+	fPolicy
+	fDelta
+	fValue
+	fOutcome
+	fLabel
+	fGauge
+
+	fKnown = 1<<15 - 1 // all defined bits; anything above is corrupt
+)
+
+// Decoder hardening bounds: the header is a one-line JSON object and
+// interned strings are policy labels / benchmark names, so anything
+// past these limits is corruption, not data.
+const (
+	maxHeaderBytes = 1 << 20
+	maxStringBytes = 1 << 12
+)
+
+// BinaryTracer streams events in the v2 binary encoding through a
+// buffered writer. The steady-state Emit path performs zero heap
+// allocations: records are built in a reused scratch buffer and string
+// fields are interned (a string allocates only on first sight). Write
+// errors are sticky, mirroring JSONLTracer: the first one is kept and
+// later Emits become no-ops — call Flush once at the end.
+type BinaryTracer struct {
+	bw    *bufio.Writer
+	err   error
+	count uint64
+	buf   []byte
+
+	prevCycle uint64
+	prevAddr  uint64
+	prevBlock uint64
+	strings   map[string]uint64
+}
+
+// NewBinaryTracer wraps w and writes the magic and header. hdr.Schema
+// is forced to EventsSchemaV2.
+func NewBinaryTracer(w io.Writer, hdr RunHeader) *BinaryTracer {
+	hdr.Schema = EventsSchemaV2
+	t := &BinaryTracer{
+		bw:      bufio.NewWriter(w),
+		buf:     make([]byte, 0, 256),
+		strings: make(map[string]uint64),
+	}
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		t.err = err
+		return t
+	}
+	if _, err := t.bw.Write(eventsMagic); err != nil {
+		t.err = err
+		return t
+	}
+	var lb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lb[:], uint64(len(hb)))
+	if _, err := t.bw.Write(lb[:n]); err != nil {
+		t.err = err
+		return t
+	}
+	if _, err := t.bw.Write(hb); err != nil {
+		t.err = err
+	}
+	return t
+}
+
+// Emit encodes one event record (no-op after a write error). An event
+// type without a registered record ID is a sticky error: v2 files must
+// stay decodable, so unknown types cannot be silently skipped.
+func (t *BinaryTracer) Emit(ev Event) {
+	if t.err != nil {
+		return
+	}
+	id, ok := eventIDs[ev.Type]
+	if !ok {
+		t.err = simerr.New(simerr.ErrBadConfig,
+			"metrics: event type %q has no v2 record ID", ev.Type)
+		return
+	}
+
+	var mask uint64
+	if ev.Cycle != 0 {
+		mask |= fCycle
+	}
+	if ev.Addr != 0 {
+		mask |= fAddr
+	}
+	if ev.Block != 0 {
+		mask |= fBlock
+	}
+	if ev.Set != 0 {
+		mask |= fSet
+	}
+	if ev.Way != 0 {
+		mask |= fWay
+	}
+	if ev.Cost != 0 {
+		mask |= fCost
+	}
+	if ev.CostQ != 0 {
+		mask |= fCostQ
+	}
+	if ev.Recency != 0 {
+		mask |= fRecency
+	}
+	if ev.Score != 0 {
+		mask |= fScore
+	}
+	if ev.Policy != "" {
+		mask |= fPolicy
+	}
+	if ev.Delta != 0 {
+		mask |= fDelta
+	}
+	if ev.Value != 0 {
+		mask |= fValue
+	}
+	if ev.Outcome != "" {
+		mask |= fOutcome
+	}
+	if ev.Label != "" {
+		mask |= fLabel
+	}
+	if ev.Gauge != 0 {
+		mask |= fGauge
+	}
+
+	buf := append(t.buf[:0], id)
+	buf = binary.AppendUvarint(buf, mask)
+	if mask&fCycle != 0 {
+		buf = binary.AppendVarint(buf, int64(ev.Cycle-t.prevCycle))
+		t.prevCycle = ev.Cycle
+	}
+	if mask&fAddr != 0 {
+		buf = binary.AppendVarint(buf, int64(ev.Addr-t.prevAddr))
+		t.prevAddr = ev.Addr
+	}
+	if mask&fBlock != 0 {
+		buf = binary.AppendVarint(buf, int64(ev.Block-t.prevBlock))
+		t.prevBlock = ev.Block
+	}
+	if mask&fSet != 0 {
+		buf = binary.AppendVarint(buf, int64(ev.Set))
+	}
+	if mask&fWay != 0 {
+		buf = binary.AppendVarint(buf, int64(ev.Way))
+	}
+	if mask&fCost != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ev.Cost))
+	}
+	if mask&fCostQ != 0 {
+		buf = binary.AppendVarint(buf, int64(ev.CostQ))
+	}
+	if mask&fRecency != 0 {
+		buf = binary.AppendVarint(buf, int64(ev.Recency))
+	}
+	if mask&fScore != 0 {
+		buf = binary.AppendVarint(buf, int64(ev.Score))
+	}
+	if mask&fPolicy != 0 {
+		buf = t.appendString(buf, ev.Policy)
+	}
+	if mask&fDelta != 0 {
+		buf = binary.AppendVarint(buf, int64(ev.Delta))
+	}
+	if mask&fValue != 0 {
+		buf = binary.AppendVarint(buf, int64(ev.Value))
+	}
+	if mask&fOutcome != 0 {
+		buf = t.appendString(buf, ev.Outcome)
+	}
+	if mask&fLabel != 0 {
+		buf = t.appendString(buf, ev.Label)
+	}
+	if mask&fGauge != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ev.Gauge))
+	}
+	t.buf = buf
+
+	if _, err := t.bw.Write(buf); err != nil {
+		t.err = err
+		return
+	}
+	t.count++
+}
+
+// appendString appends an interning reference: a previously seen string
+// is its 1-based table index; a new one is 0, its length and bytes, and
+// takes the next index.
+func (t *BinaryTracer) appendString(buf []byte, s string) []byte {
+	if ref, ok := t.strings[s]; ok {
+		return binary.AppendUvarint(buf, ref)
+	}
+	t.strings[s] = uint64(len(t.strings)) + 1
+	buf = binary.AppendUvarint(buf, 0)
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// Events returns the number of records successfully encoded.
+func (t *BinaryTracer) Events() uint64 { return t.count }
+
+// Flush drains the buffer and returns the first error seen, if any.
+func (t *BinaryTracer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.bw.Flush()
+}
+
+// FileTracer is the common surface of the stream-writing tracers the
+// CLIs construct for -trace-events: emit, count, flush.
+type FileTracer interface {
+	Tracer
+	Events() uint64
+	Flush() error
+}
+
+// NewFileTracer selects the events encoding by format name: "v1" (or
+// "jsonl", or empty) streams mlpcache.events/v1 JSONL, "v2" (or
+// "binary") the compact binary encoding. The -trace-events-format flag
+// maps straight onto it.
+func NewFileTracer(w io.Writer, format string, hdr RunHeader) (FileTracer, error) {
+	switch format {
+	case "", "v1", "jsonl":
+		return NewJSONLTracer(w, hdr), nil
+	case "v2", "binary":
+		return NewBinaryTracer(w, hdr), nil
+	}
+	return nil, fmt.Errorf("unknown trace-events format %q (want v1 or v2)", format)
+}
+
+// EventsReader streams a v2 binary file back out as Events. Decode
+// errors are sticky and wrap simerr.ErrCorruptTrace; check Err after
+// Next reports false to distinguish corruption from clean EOF.
+type EventsReader struct {
+	r   *bufio.Reader
+	hdr RunHeader
+	err error
+
+	prevCycle uint64
+	prevAddr  uint64
+	prevBlock uint64
+	strings   []string
+}
+
+// NewEventsReader validates the magic, decodes the embedded header and
+// returns a reader positioned at the first record.
+func NewEventsReader(r io.Reader) (*EventsReader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(eventsMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, simerr.Wrap(simerr.ErrCorruptTrace, err, "metrics: reading events magic")
+	}
+	for i := range eventsMagic {
+		if hdr[i] != eventsMagic[i] {
+			return nil, ErrBadEventsMagic
+		}
+	}
+	hlen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, simerr.Wrap(simerr.ErrCorruptTrace, err, "metrics: reading header length")
+	}
+	if hlen > maxHeaderBytes {
+		return nil, simerr.New(simerr.ErrCorruptTrace, "metrics: header length %d out of range", hlen)
+	}
+	hb := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hb); err != nil {
+		return nil, simerr.Wrap(simerr.ErrCorruptTrace, err, "metrics: reading header")
+	}
+	er := &EventsReader{r: br}
+	if err := json.Unmarshal(hb, &er.hdr); err != nil {
+		return nil, simerr.Wrap(simerr.ErrCorruptTrace, err, "metrics: decoding header")
+	}
+	if er.hdr.Schema != EventsSchemaV2 {
+		return nil, simerr.New(simerr.ErrCorruptTrace,
+			"metrics: header schema %q, want %q", er.hdr.Schema, EventsSchemaV2)
+	}
+	return er, nil
+}
+
+// Header returns the embedded run header (schema EventsSchemaV2).
+func (er *EventsReader) Header() RunHeader { return er.hdr }
+
+// corrupt records a sticky decode error.
+func (er *EventsReader) corrupt(err error, what string) (Event, bool) {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF // mid-record EOF is truncation
+	}
+	er.err = simerr.Wrap(simerr.ErrCorruptTrace, err, "metrics: reading "+what)
+	return Event{}, false
+}
+
+// Next decodes the next event. It reports false at end of stream or on
+// a decode error; check Err to distinguish.
+func (er *EventsReader) Next() (Event, bool) {
+	if er.err != nil {
+		return Event{}, false
+	}
+	id, err := er.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			er.err = simerr.Wrap(simerr.ErrCorruptTrace, err, "metrics: reading record id")
+		}
+		return Event{}, false
+	}
+	ty, ok := eventByID[id]
+	if !ok {
+		er.err = simerr.New(simerr.ErrCorruptTrace, "metrics: unknown event record ID %d", id)
+		return Event{}, false
+	}
+	mask, err := binary.ReadUvarint(er.r)
+	if err != nil {
+		return er.corrupt(err, "field mask")
+	}
+	if mask&^uint64(fKnown) != 0 {
+		er.err = simerr.New(simerr.ErrCorruptTrace, "metrics: field mask %#x has unknown bits", mask)
+		return Event{}, false
+	}
+
+	ev := Event{Type: ty}
+	varint := func(what string) (int64, bool) {
+		v, err := binary.ReadVarint(er.r)
+		if err != nil {
+			er.corrupt(err, what)
+			return 0, false
+		}
+		return v, true
+	}
+	f64 := func(what string) (float64, bool) {
+		var b [8]byte
+		if _, err := io.ReadFull(er.r, b[:]); err != nil {
+			er.corrupt(err, what)
+			return 0, false
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), true
+	}
+
+	if mask&fCycle != 0 {
+		d, ok := varint("cycle")
+		if !ok {
+			return Event{}, false
+		}
+		er.prevCycle += uint64(d)
+		ev.Cycle = er.prevCycle
+	}
+	if mask&fAddr != 0 {
+		d, ok := varint("addr")
+		if !ok {
+			return Event{}, false
+		}
+		er.prevAddr += uint64(d)
+		ev.Addr = er.prevAddr
+	}
+	if mask&fBlock != 0 {
+		d, ok := varint("block")
+		if !ok {
+			return Event{}, false
+		}
+		er.prevBlock += uint64(d)
+		ev.Block = er.prevBlock
+	}
+	if mask&fSet != 0 {
+		v, ok := varint("set")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Set = int(v)
+	}
+	if mask&fWay != 0 {
+		v, ok := varint("way")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Way = int(v)
+	}
+	if mask&fCost != 0 {
+		v, ok := f64("cost")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Cost = v
+	}
+	if mask&fCostQ != 0 {
+		v, ok := varint("cost_q")
+		if !ok {
+			return Event{}, false
+		}
+		ev.CostQ = int(v)
+	}
+	if mask&fRecency != 0 {
+		v, ok := varint("recency")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Recency = int(v)
+	}
+	if mask&fScore != 0 {
+		v, ok := varint("score")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Score = int(v)
+	}
+	if mask&fPolicy != 0 {
+		s, ok := er.readString("policy")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Policy = s
+	}
+	if mask&fDelta != 0 {
+		v, ok := varint("delta")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Delta = int(v)
+	}
+	if mask&fValue != 0 {
+		v, ok := varint("value")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Value = int(v)
+	}
+	if mask&fOutcome != 0 {
+		s, ok := er.readString("outcome")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Outcome = s
+	}
+	if mask&fLabel != 0 {
+		s, ok := er.readString("label")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Label = s
+	}
+	if mask&fGauge != 0 {
+		v, ok := f64("gauge")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Gauge = v
+	}
+	return ev, true
+}
+
+// readString resolves an interning reference, mirroring appendString.
+func (er *EventsReader) readString(what string) (string, bool) {
+	ref, err := binary.ReadUvarint(er.r)
+	if err != nil {
+		er.corrupt(err, what+" ref")
+		return "", false
+	}
+	if ref > 0 {
+		if ref > uint64(len(er.strings)) {
+			er.err = simerr.New(simerr.ErrCorruptTrace,
+				"metrics: %s ref %d beyond string table (%d entries)", what, ref, len(er.strings))
+			return "", false
+		}
+		return er.strings[ref-1], true
+	}
+	n, err := binary.ReadUvarint(er.r)
+	if err != nil {
+		er.corrupt(err, what+" length")
+		return "", false
+	}
+	if n > maxStringBytes {
+		er.err = simerr.New(simerr.ErrCorruptTrace, "metrics: %s length %d out of range", what, n)
+		return "", false
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(er.r, b); err != nil {
+		er.corrupt(err, what)
+		return "", false
+	}
+	s := string(b)
+	er.strings = append(er.strings, s)
+	return s, true
+}
+
+// Err returns the first decode error encountered, or nil if the stream
+// ended cleanly.
+func (er *EventsReader) Err() error { return er.err }

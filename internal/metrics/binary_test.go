@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"mlpcache/internal/simerr"
+)
+
+// syntheticStream builds a multi-run event stream exercising every event
+// type, every field, string re-interning, backward cycle deltas across
+// run boundaries, and zero-valued fields (omitted on the wire).
+func syntheticStream() []Event {
+	var evs []Event
+	for run := 0; run < 3; run++ {
+		bench := []string{"mcf", "ammp", "art"}[run]
+		evs = append(evs, Event{Type: EventRunStart, Label: bench, Policy: "lin4"})
+		// Cycles restart low each run: the delta goes backward.
+		evs = append(evs,
+			Event{Type: EventMissIssue, Cycle: 2, Addr: 0x6_0000_0000, Block: 0x1800_0000},
+			Event{Type: EventMissMerge, Cycle: 9, Addr: 0x6_0000_0040, Block: 0x1800_0001},
+			Event{Type: EventMissFill, Cycle: 450, Addr: 0x6_0000_0000, Block: 0x1800_0000, Cost: 444.25, CostQ: 7},
+			Event{Type: EventVictim, Cycle: 451, Set: 12, Way: 3, CostQ: 2, Recency: 5, Score: 13, Policy: "lin4"},
+			Event{Type: EventPselUpdate, Cycle: 460, Delta: -1, Value: 511},
+			Event{Type: EventSBARLeader, Cycle: 470, Outcome: "mtd_hit"},
+			Event{Type: EventSnapshotIPC, Cycle: 500, Gauge: 0.732},
+			Event{Type: EventSnapshotMPKI, Cycle: 500, Gauge: 41.5},
+			Event{Type: EventSnapshotAvgCostQ, Cycle: 500, Gauge: 2.25},
+			Event{Type: EventSnapshotMSHR, Cycle: 500, Gauge: 4},
+			Event{Type: EventSnapshotCostHist, Cycle: 500, Value: 0, Gauge: 17},
+			Event{Type: EventSnapshotCostHist, Cycle: 500, Value: 3, Gauge: 9},
+			// All-zero payload: only the type survives omitempty.
+			Event{Type: EventMissIssue},
+		)
+	}
+	return evs
+}
+
+// jsonlBytes replays events through an optional FilterTracer into a
+// JSONL tracer and returns the document.
+func jsonlBytes(t *testing.T, hdr RunHeader, evs []Event, sample uint64, types []EventType) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	jt := NewJSONLTracer(&buf, hdr)
+	var dst Tracer = jt
+	if sample > 1 || len(types) > 0 {
+		dst = NewFilterTracer(jt, sample, types)
+	}
+	for _, ev := range evs {
+		dst.Emit(ev)
+	}
+	if err := jt.Flush(); err != nil {
+		t.Fatalf("jsonl flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// v2DecodedBytes replays events through an optional FilterTracer into a
+// binary tracer, decodes the file with EventsReader, re-encodes the
+// decoded stream as JSONL and returns that document.
+func v2DecodedBytes(t *testing.T, hdr RunHeader, evs []Event, sample uint64, types []EventType) []byte {
+	t.Helper()
+	var bin bytes.Buffer
+	bt := NewBinaryTracer(&bin, hdr)
+	var dst Tracer = bt
+	if sample > 1 || len(types) > 0 {
+		dst = NewFilterTracer(bt, sample, types)
+	}
+	for _, ev := range evs {
+		dst.Emit(ev)
+	}
+	if err := bt.Flush(); err != nil {
+		t.Fatalf("binary flush: %v", err)
+	}
+
+	rd, err := NewEventsReader(&bin)
+	if err != nil {
+		t.Fatalf("NewEventsReader: %v", err)
+	}
+	if got := rd.Header().Schema; got != EventsSchemaV2 {
+		t.Fatalf("embedded header schema = %q, want %q", got, EventsSchemaV2)
+	}
+	var out bytes.Buffer
+	jt := NewJSONLTracer(&out, rd.Header())
+	for {
+		ev, ok := rd.Next()
+		if !ok {
+			break
+		}
+		jt.Emit(ev)
+	}
+	if err := rd.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := jt.Flush(); err != nil {
+		t.Fatalf("re-encode flush: %v", err)
+	}
+	return out.Bytes()
+}
+
+// TestEventsV2RoundTripJSONL is the tentpole property: encoding a stream
+// as v2 and decoding it back yields byte-for-byte the v1 JSONL document
+// a JSONL tracer would have produced directly — with and without
+// FilterTracer sampling/filtering in front, and across run.start
+// boundaries.
+func TestEventsV2RoundTripJSONL(t *testing.T) {
+	hdr := RunHeader{Bench: "mcf", Policy: "lin4", Seed: 42}
+	evs := syntheticStream()
+	cases := []struct {
+		name   string
+		sample uint64
+		types  []EventType
+	}{
+		{name: "unfiltered"},
+		{name: "sampled", sample: 3},
+		{name: "filtered", types: []EventType{EventMissIssue, EventMissFill, EventSnapshotIPC}},
+		{name: "sampled-filtered", sample: 2, types: []EventType{EventMissIssue, EventVictim, EventSnapshotCostHist}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := jsonlBytes(t, hdr, evs, tc.sample, tc.types)
+			got := v2DecodedBytes(t, hdr, evs, tc.sample, tc.types)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("decoded v2 differs from direct v1 JSONL\nwant:\n%s\ngot:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestBinaryTracerEmitAllocs pins the zero-allocation contract: after
+// the string table has seen a stream's labels, Emit allocates nothing.
+func TestBinaryTracerEmitAllocs(t *testing.T) {
+	bt := NewBinaryTracer(io.Discard, RunHeader{Bench: "equake"})
+	evs := syntheticStream()
+	for _, ev := range evs { // warm up the string table and scratch buffer
+		bt.Emit(ev)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		bt.Emit(evs[i%len(evs)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Emit allocates %.2f/op, want 0", avg)
+	}
+	if err := bt.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+// TestBinaryTracerUnknownType checks that an unregistered event type is
+// a sticky typed error rather than a silently skipped record.
+func TestBinaryTracerUnknownType(t *testing.T) {
+	bt := NewBinaryTracer(io.Discard, RunHeader{})
+	bt.Emit(Event{Type: EventType("no.such.event")})
+	if err := bt.Flush(); !errors.Is(err, simerr.ErrBadConfig) {
+		t.Fatalf("flush after unknown type = %v, want ErrBadConfig wrap", err)
+	}
+}
+
+// TestEventsReaderRejectsCorruption checks the decoder's typed-error
+// contract on malformed inputs.
+func TestEventsReaderRejectsCorruption(t *testing.T) {
+	var good bytes.Buffer
+	bt := NewBinaryTracer(&good, RunHeader{Bench: "mcf"})
+	for _, ev := range syntheticStream() {
+		bt.Emit(ev)
+	}
+	if err := bt.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	data := good.Bytes()
+
+	t.Run("bad-magic", func(t *testing.T) {
+		_, err := NewEventsReader(bytes.NewReader([]byte("JSON{}..")))
+		if !errors.Is(err, simerr.ErrCorruptTrace) {
+			t.Fatalf("err = %v, want ErrCorruptTrace wrap", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		rd, err := NewEventsReader(bytes.NewReader(data[:len(data)-3]))
+		if err != nil {
+			t.Fatalf("NewEventsReader: %v", err)
+		}
+		for {
+			if _, ok := rd.Next(); !ok {
+				break
+			}
+		}
+		if err := rd.Err(); !errors.Is(err, simerr.ErrCorruptTrace) {
+			t.Fatalf("Err = %v, want ErrCorruptTrace wrap", err)
+		}
+	})
+	t.Run("unknown-record-id", func(t *testing.T) {
+		bad := append(append([]byte{}, data...), 0xFF, 0x00)
+		rd, err := NewEventsReader(bytes.NewReader(bad))
+		if err != nil {
+			t.Fatalf("NewEventsReader: %v", err)
+		}
+		for {
+			if _, ok := rd.Next(); !ok {
+				break
+			}
+		}
+		if err := rd.Err(); !errors.Is(err, simerr.ErrCorruptTrace) {
+			t.Fatalf("Err = %v, want ErrCorruptTrace wrap", err)
+		}
+	})
+}
+
+// FuzzEventsV2Decode feeds arbitrary bytes to the v2 decoder: it must
+// never panic, and every failure must classify as ErrCorruptTrace.
+// Wired into `make tier1` via the fuzz-smoke target.
+func FuzzEventsV2Decode(f *testing.F) {
+	var good bytes.Buffer
+	bt := NewBinaryTracer(&good, RunHeader{Bench: "mcf", Policy: "lin4", Seed: 42})
+	for _, ev := range syntheticStream() {
+		bt.Emit(ev)
+	}
+	if err := bt.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte("MLPE\x02"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewEventsReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, simerr.ErrCorruptTrace) {
+				t.Fatalf("open error %v does not wrap ErrCorruptTrace", err)
+			}
+			return
+		}
+		for i := 0; i < 1_000_000; i++ {
+			if _, ok := rd.Next(); !ok {
+				break
+			}
+		}
+		if err := rd.Err(); err != nil && !errors.Is(err, simerr.ErrCorruptTrace) {
+			t.Fatalf("decode error %v does not wrap ErrCorruptTrace", err)
+		}
+	})
+}

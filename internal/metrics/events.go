@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"strings"
 )
 
 // EventsSchema identifies the event-trace JSONL document format (the
@@ -36,7 +37,77 @@ const (
 	// EventRunStart: a run boundary in a multi-run stream (mlpexp);
 	// Label is the benchmark, Policy the policy spec.
 	EventRunStart EventType = "run.start"
+
+	// The snapshot.* family: periodic in-loop gauge samples emitted
+	// every Config.SnapshotInterval retired instructions, turning the
+	// end-of-run aggregates into time-resolved curves. Each sample
+	// carries its value in Gauge; snapshot.cost_hist additionally uses
+	// Value as the histogram bin index.
+
+	// EventSnapshotIPC: retired instructions per cycle over the
+	// interval since the previous snapshot.
+	EventSnapshotIPC EventType = "snapshot.ipc"
+	// EventSnapshotMPKI: L2 demand misses per thousand retired
+	// instructions over the interval.
+	EventSnapshotMPKI EventType = "snapshot.mpki"
+	// EventSnapshotAvgCostQ: mean quantized mlp-cost per serviced miss
+	// over the interval (Figure 3b quantization).
+	EventSnapshotAvgCostQ EventType = "snapshot.avg_cost_q"
+	// EventSnapshotMSHR: the miss file's occupancy at the boundary.
+	EventSnapshotMSHR EventType = "snapshot.mshr_occupancy"
+	// EventSnapshotCostHist: one cumulative Figure 2 histogram bin
+	// count at the boundary; Value is the bin index, Gauge the count.
+	EventSnapshotCostHist EventType = "snapshot.cost_hist"
 )
+
+// IsSnapshot reports whether the type belongs to the snapshot.* gauge
+// family. Snapshot samples are exempt from every-Nth sampling in
+// FilterTracer — dropping points from a gauge series would corrupt it —
+// but still subject to the type allow-list.
+func (t EventType) IsSnapshot() bool { return strings.HasPrefix(string(t), "snapshot.") }
+
+// eventIDs registers each event type's one-byte mlpcache.events/v2
+// record ID alongside its dotted name. IDs are append-only wire
+// contract: never renumber or reuse one (docs/OBSERVABILITY.md keeps
+// the matching table, and observability_test.go pins both directions).
+var eventIDs = map[EventType]byte{
+	EventMissIssue:        1,
+	EventMissMerge:        2,
+	EventMissFill:         3,
+	EventVictim:           4,
+	EventPselUpdate:       5,
+	EventSBARLeader:       6,
+	EventRunStart:         7,
+	EventSnapshotIPC:      8,
+	EventSnapshotMPKI:     9,
+	EventSnapshotAvgCostQ: 10,
+	EventSnapshotMSHR:     11,
+	EventSnapshotCostHist: 12,
+}
+
+// eventByID is the inverse of eventIDs, built once at init.
+var eventByID = func() map[byte]EventType {
+	inv := make(map[byte]EventType, len(eventIDs))
+	for ty, id := range eventIDs {
+		if _, dup := inv[id]; dup {
+			panic("metrics: duplicate v2 event ID " + string(ty))
+		}
+		inv[id] = ty
+	}
+	return inv
+}()
+
+// EventTypeID returns the type's stable mlpcache.events/v2 record ID.
+func EventTypeID(t EventType) (byte, bool) {
+	id, ok := eventIDs[t]
+	return id, ok
+}
+
+// EventTypeByID resolves a v2 record ID back to its event type.
+func EventTypeByID(id byte) (EventType, bool) {
+	ty, ok := eventByID[id]
+	return ty, ok
+}
 
 // Event is one traced simulator event — one JSONL line in an events
 // document. Only Type is always present; every other field is omitted
@@ -58,6 +129,7 @@ type Event struct {
 	Value   int       `json:"value,omitempty"`
 	Outcome string    `json:"outcome,omitempty"`
 	Label   string    `json:"label,omitempty"`
+	Gauge   float64   `json:"gauge,omitempty"`
 }
 
 // Tracer receives simulator events. A nil Tracer disables tracing; every

@@ -11,6 +11,8 @@ func AllEventTypes() []EventType {
 	return []EventType{
 		EventMissIssue, EventMissMerge, EventMissFill,
 		EventVictim, EventPselUpdate, EventSBARLeader, EventRunStart,
+		EventSnapshotIPC, EventSnapshotMPKI, EventSnapshotAvgCostQ,
+		EventSnapshotMSHR, EventSnapshotCostHist,
 	}
 }
 
@@ -20,6 +22,9 @@ func AllEventTypes() []EventType {
 // (EventRunStart) always pass through unfiltered and unsampled —
 // dropping them would break the per-run framing downstream consumers
 // split event streams on — and do not advance the sample counter.
+// snapshot.* gauge samples obey the type allow-list but are exempt from
+// sampling (and leave the counter untouched): every-Nth decimation of a
+// periodic gauge series would corrupt the curve it encodes.
 type FilterTracer struct {
 	dst    Tracer
 	sample uint64
@@ -48,6 +53,10 @@ func (t *FilterTracer) Emit(ev Event) {
 		return
 	}
 	if t.allow != nil && !t.allow[ev.Type] {
+		return
+	}
+	if ev.Type.IsSnapshot() {
+		t.dst.Emit(ev)
 		return
 	}
 	t.seen++

@@ -167,6 +167,15 @@ type Config struct {
 	// SampleInterval, when non-zero, records the Figure 11 time series
 	// every that many retired instructions.
 	SampleInterval uint64
+	// SnapshotInterval, when non-zero and Trace is set, emits the
+	// snapshot.* gauge family through the tracer every that many
+	// retired instructions: interval IPC, MPKI and mean cost_q, the
+	// MSHR occupancy at the boundary, and the cumulative Figure 2
+	// cost-histogram bins — time-resolved curves in the event stream
+	// instead of end-of-run aggregates (docs/OBSERVABILITY.md). Its
+	// accounting is independent of SampleInterval; with a nil Trace it
+	// is a no-op.
+	SnapshotInterval uint64
 	// EpochInstructions is the rand-dynamic leader reselection period
 	// (the paper uses 25M; scaled runs use less). 0 disables epochs.
 	EpochInstructions uint64

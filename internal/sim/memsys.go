@@ -131,7 +131,7 @@ type blockInfo struct {
 // fill.
 type fillHeap struct{ h []*fill }
 
-func (h *fillHeap) Len() int   { return len(h.h) }
+func (h *fillHeap) Len() int    { return len(h.h) }
 func (h *fillHeap) Peek() *fill { return h.h[0] }
 
 func (h *fillHeap) Push(f *fill) {
@@ -503,6 +503,48 @@ func (m *memSystem) fillL1(addr uint64, write bool) {
 			m.mstats.L1WritebackDrops++
 		}
 	}
+}
+
+// snapState carries the run totals at the previous snapshot boundary so
+// each snapshot.* gauge covers exactly one Config.SnapshotInterval. It
+// deliberately does not share the Figure 11 interval accumulators
+// (takeInterval): the two periods are independently configurable.
+type snapState struct {
+	retired uint64
+	cycle   uint64
+	misses  uint64
+	costQ   uint64
+}
+
+// emitSnapshot streams one snapshot.* gauge group through the tracer:
+// interval IPC, MPKI and mean quantized cost since the previous
+// boundary, the instantaneous MSHR occupancy, and the cumulative
+// Figure 2 cost-histogram bins (one event per bin, Value = bin index).
+// Only called with a tracer attached, at snapshot-interval rate — the
+// histogram copy it takes is nowhere near the per-miss hot path.
+func (m *memSystem) emitSnapshot(now, retired uint64, s *snapState) {
+	dInstr := retired - s.retired
+	dCyc := now - s.cycle
+	dMiss := m.mstats.DemandMisses - s.misses
+	dCost := m.mstats.CostQSum - s.costQ
+	var ipc, mpki, avg float64
+	if dCyc > 0 {
+		ipc = float64(dInstr) / float64(dCyc)
+	}
+	if dInstr > 0 {
+		mpki = 1000 * float64(dMiss) / float64(dInstr)
+	}
+	if dMiss > 0 {
+		avg = float64(dCost) / float64(dMiss)
+	}
+	m.tr.Emit(metrics.Event{Type: metrics.EventSnapshotIPC, Gauge: ipc})
+	m.tr.Emit(metrics.Event{Type: metrics.EventSnapshotMPKI, Gauge: mpki})
+	m.tr.Emit(metrics.Event{Type: metrics.EventSnapshotAvgCostQ, Gauge: avg})
+	m.tr.Emit(metrics.Event{Type: metrics.EventSnapshotMSHR, Gauge: float64(m.mshr.Len())})
+	for i, c := range m.costHist.Bins() {
+		m.tr.Emit(metrics.Event{Type: metrics.EventSnapshotCostHist, Value: i, Gauge: float64(c)})
+	}
+	*s = snapState{retired: retired, cycle: now, misses: m.mstats.DemandMisses, costQ: m.mstats.CostQSum}
 }
 
 // takeInterval returns and resets the Figure 11 interval accumulators.

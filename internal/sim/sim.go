@@ -204,7 +204,14 @@ func Run(cfg Config, src trace.Source) (res Result, err error) {
 		nextSample  = cfg.SampleInterval
 		sampleCycle uint64
 		nextEpoch   = cfg.EpochInstructions
+		// Snapshot emission is disabled by parking the threshold at the
+		// top of the range, keeping the hot loop's check to one compare.
+		nextSnap = ^uint64(0)
+		snap     snapState
 	)
+	if cfg.SnapshotInterval > 0 && mem.tr != nil {
+		nextSnap = cfg.SnapshotInterval
+	}
 	for now = 1; now <= maxCycles; now++ {
 		if err := mem.Tick(now); err != nil {
 			return Result{}, err
@@ -245,6 +252,10 @@ func Run(cfg Config, src trace.Source) (res Result, err error) {
 			ser.MSHROccupancy.Add(retired, float64(mem.mshr.Len()))
 			sampleCycle = now
 			nextSample += cfg.SampleInterval
+		}
+		if retired >= nextSnap {
+			mem.emitSnapshot(now, retired, &snap)
+			nextSnap += cfg.SnapshotInterval
 		}
 		if hybrid != nil && cfg.EpochInstructions > 0 && retired >= nextEpoch {
 			hybrid.AdvanceEpoch()

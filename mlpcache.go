@@ -122,14 +122,31 @@ type (
 // The JSONL/JSON document schema identifiers (each document's "schema"
 // field; see docs/OBSERVABILITY.md).
 const (
-	MetricsSchema = metrics.MetricsSchema
-	EventsSchema  = metrics.EventsSchema
-	ReportSchema  = metrics.ReportSchema
+	MetricsSchema  = metrics.MetricsSchema
+	EventsSchema   = metrics.EventsSchema
+	EventsSchemaV2 = metrics.EventsSchemaV2
+	ReportSchema   = metrics.ReportSchema
 )
 
 // NewJSONLTracer streams events as JSONL (schema "mlpcache.events/v1").
 func NewJSONLTracer(w io.Writer, hdr RunHeader) *metrics.JSONLTracer {
 	return metrics.NewJSONLTracer(w, hdr)
+}
+
+// NewBinaryTracer streams events in the compact binary encoding (schema
+// "mlpcache.events/v2"): delta/varint fields, interned strings, zero
+// heap allocations per event at steady state. Decode with EventsReader
+// or `mlptrace -events`.
+func NewBinaryTracer(w io.Writer, hdr RunHeader) *metrics.BinaryTracer {
+	return metrics.NewBinaryTracer(w, hdr)
+}
+
+// EventsReader streams an mlpcache.events/v2 file back as TraceEvents.
+type EventsReader = metrics.EventsReader
+
+// NewEventsReader opens a v2 binary event stream for decoding.
+func NewEventsReader(r io.Reader) (*EventsReader, error) {
+	return metrics.NewEventsReader(r)
 }
 
 // Offline oracle subsystem (docs/ORACLE.md): set Config.Capture to a

@@ -85,6 +85,7 @@ func observedRun(t testing.TB, bench string, spec sim.PolicySpec, prefetchOn boo
 	cfg := sim.DefaultConfig()
 	cfg.MaxInstructions = 300_000
 	cfg.SampleInterval = 50_000
+	cfg.SnapshotInterval = 60_000 // emits every snapshot.* type when sink != nil
 	cfg.Audit = true
 	cfg.Policy = spec
 	if spec.RandDynamic {
@@ -175,14 +176,9 @@ func TestMetricCatalogMatchesEmission(t *testing.T) {
 func TestEventCatalogMatchesEmission(t *testing.T) {
 	_, docEvents := parseCatalogs(t)
 
-	defined := map[string]bool{
-		string(metrics.EventMissIssue):  true,
-		string(metrics.EventMissMerge):  true,
-		string(metrics.EventMissFill):   true,
-		string(metrics.EventVictim):     true,
-		string(metrics.EventPselUpdate): true,
-		string(metrics.EventSBARLeader): true,
-		string(metrics.EventRunStart):   true,
+	defined := map[string]bool{}
+	for _, ty := range metrics.AllEventTypes() {
+		defined[string(ty)] = true
 	}
 	for ty := range docEvents {
 		if !defined[ty] {
@@ -311,5 +307,77 @@ func TestEventsDocumentRoundTrip(t *testing.T) {
 	}
 	if n != tr.Events() {
 		t.Fatalf("decoded %d events, tracer counted %d", n, tr.Events())
+	}
+}
+
+// v2Row matches one mlpcache.events/v2 record-ID table row in
+// docs/OBSERVABILITY.md: a numeric ID column, then the backticked event
+// type. The leading number keeps these rows out of catalogRow's reach.
+var v2Row = regexp.MustCompile("^\\| ([0-9]+) \\| `([a-z][a-z0-9_.]*)` \\|")
+
+// TestEventTypeIDsMatchDoc pins the v2 wire contract in both
+// directions: every event type registered in code appears in the doc's
+// record-ID table with the same ID, and every documented row resolves
+// back to the same type — so an ID can be neither renumbered nor
+// documented without the matching code change.
+func TestEventTypeIDsMatchDoc(t *testing.T) {
+	raw, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("reading contract doc: %v", err)
+	}
+	docIDs := map[string]byte{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := v2Row.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		id := 0
+		for _, c := range m[1] {
+			id = id*10 + int(c-'0')
+		}
+		if id <= 0 || id > 255 {
+			t.Fatalf("doc row %q: ID out of byte range", line)
+		}
+		if _, dup := docIDs[m[2]]; dup {
+			t.Errorf("doc lists v2 record ID for %q twice", m[2])
+		}
+		docIDs[m[2]] = byte(id)
+	}
+	if len(docIDs) == 0 {
+		t.Fatal("no v2 record-ID rows parsed — table format changed?")
+	}
+
+	for _, ty := range metrics.AllEventTypes() {
+		id, ok := metrics.EventTypeID(ty)
+		if !ok {
+			t.Errorf("event type %q has no v2 record ID registered", ty)
+			continue
+		}
+		docID, ok := docIDs[string(ty)]
+		if !ok {
+			t.Errorf("event type %q (ID %d) missing from the doc's v2 record-ID table", ty, id)
+			continue
+		}
+		if docID != id {
+			t.Errorf("event type %q: doc says ID %d, code says %d", ty, docID, id)
+		}
+		back, ok := metrics.EventTypeByID(id)
+		if !ok || back != ty {
+			t.Errorf("EventTypeByID(%d) = %q, %v; want %q", id, back, ok, ty)
+		}
+	}
+	for name, id := range docIDs {
+		ty, ok := metrics.EventTypeByID(id)
+		if !ok {
+			t.Errorf("documented v2 record ID %d (%q) not registered in code", id, name)
+			continue
+		}
+		if string(ty) != name {
+			t.Errorf("v2 record ID %d: doc names %q, code names %q", id, name, ty)
+		}
+	}
+	if len(docIDs) != len(metrics.AllEventTypes()) {
+		t.Errorf("doc's v2 table has %d rows, code registers %d event types",
+			len(docIDs), len(metrics.AllEventTypes()))
 	}
 }
