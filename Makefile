@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet lint docs-check fuzz-smoke bench bench-smoke bench-record bench-compare clean
+.PHONY: tier1 build test race vet lint docs-check fuzz-smoke bench bench-smoke bench-record bench-compare loadtest-smoke clean
 
 # tier1 is the repo's gate: every PR must leave it green.
-tier1: vet lint docs-check build race fuzz-smoke bench-smoke bench-compare
+tier1: vet lint docs-check build race fuzz-smoke bench-smoke bench-compare loadtest-smoke
 
 build:
 	$(GO) build ./...
@@ -49,14 +49,14 @@ bench-smoke:
 		echo "$$out" | grep -q "$$name" || { echo "bench-smoke: $$name missing from benchmark output" >&2; exit 1; }; \
 	done
 
-# bench-record snapshots the perf-trajectory suite into BENCH_PR6.json
+# bench-record snapshots the perf-trajectory suite into BENCH_PR7.json
 # (instr/s, ns/op, allocs/op per benchmark; best of four passes). The
 # snapshot is committed so bench-compare has a fixed reference; any
 # pre_pr5_baseline / prior_baselines sections already in the file are
-# preserved, and the PR5 snapshot is folded in as a prior baseline so
+# preserved, and the PR6 snapshot is folded in as a prior baseline so
 # the cross-PR trajectory stays in one document.
 bench-record:
-	$(GO) run ./tools/benchjson -record -out BENCH_PR6.json -prior pr5=BENCH_PR5.json -count 4
+	$(GO) run ./tools/benchjson -record -out BENCH_PR7.json -prior pr6=BENCH_PR6.json -count 4
 
 # bench-compare re-runs the suite and fails on a >10% instr/s drop
 # relative to the suite-wide median ratio (host steal on a virtualized
@@ -68,7 +68,13 @@ bench-record:
 # both sides, so each benchmark's samples are spread across the run's
 # wall time.
 bench-compare:
-	$(GO) run ./tools/benchjson -compare -baseline BENCH_PR6.json -count 4
+	$(GO) run ./tools/benchjson -compare -baseline BENCH_PR7.json -count 4
+
+# loadtest-smoke fires a short chaos burst at an in-process sweep
+# service (tools/loadgen): every job must come back with a terminal
+# answer and the daemon's counters must reconcile, or loadgen exits 1.
+loadtest-smoke:
+	$(GO) run ./tools/loadgen -jobs 60 -concurrency 12 -n 10000 -chaos-fail 150 -chaos-panic 20
 
 clean:
 	$(GO) clean ./...

@@ -8,9 +8,13 @@
 package mlpcache
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mlpcache/internal/analytic"
 	"mlpcache/internal/core"
@@ -19,6 +23,7 @@ import (
 	"mlpcache/internal/mshr"
 	"mlpcache/internal/oracle"
 	"mlpcache/internal/prefetch"
+	"mlpcache/internal/service"
 	"mlpcache/internal/sim"
 	"mlpcache/internal/trace"
 	"mlpcache/internal/workload"
@@ -438,4 +443,51 @@ func BenchmarkTraceEncode(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(ins)))
+}
+
+// BenchmarkServiceThroughput measures the sweep service end to end:
+// jobs flow through admission, the worker pool, per-job deadlines and
+// the result cache before the simulation runs. Distinct seeds defeat
+// the cache, so the figure prices the service layer plus fresh
+// simulations — compare its instr/s against BenchmarkSimulatorThroughput
+// to see the daemon's overhead, which should be noise.
+func BenchmarkServiceThroughput(b *testing.B) {
+	const jobInstructions = 400_000
+	s, err := service.New(service.Config{
+		PerClientCap:    -1,
+		MaxInstructions: jobInstructions,
+		DefaultDeadline: 10 * time.Minute,
+		MaxDeadline:     10 * time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	// Bound concurrent submitters below the queue depth so admission
+	// control never rejects: this measures throughput, not shedding.
+	sem := make(chan struct{}, 16)
+	var wg sync.WaitGroup
+	var failed atomic.Uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out := s.Submit(context.Background(), service.Job{
+				Bench:        "equake",
+				Instructions: jobInstructions,
+				Seed:         uint64(i) + 1,
+			})
+			if out.Err != nil {
+				failed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := failed.Load(); n > 0 {
+		b.Fatalf("%d of %d jobs failed", n, b.N)
+	}
+	b.ReportMetric(float64(jobInstructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }

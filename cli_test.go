@@ -4,11 +4,14 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"mlpcache"
 	"mlpcache/internal/faultinject"
@@ -25,8 +28,14 @@ func buildTools(t *testing.T) string {
 		t.Skip("builds binaries; skipped in -short mode")
 	}
 	dir := t.TempDir()
-	for _, tool := range []string{"mlpsim", "mlpexp", "mlptrace"} {
-		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+	for tool, pkg := range map[string]string{
+		"mlpsim":   "./cmd/mlpsim",
+		"mlpexp":   "./cmd/mlpexp",
+		"mlptrace": "./cmd/mlptrace",
+		"mlpserve": "./cmd/mlpserve",
+		"loadgen":  "./tools/loadgen",
+	} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), pkg)
 		cmd.Env = os.Environ()
 		if out, err := cmd.CombinedOutput(); err != nil {
 			t.Fatalf("building %s: %v\n%s", tool, err, out)
@@ -677,4 +686,292 @@ func TestCLIWorkers(t *testing.T) {
 	if serial != parallel {
 		t.Fatalf("-workers changed the output:\nserial:\n%s\nparallel:\n%s", serial, parallel)
 	}
+}
+
+// serveSection parses the "Running sweeps as a service" block of
+// EXPERIMENTS.md into its daemon commands (go run lines) and curl
+// lines, so TestCLIServe can execute the documented flow.
+func serveSection(t *testing.T) (goRuns [][]string, curls []string) {
+	t.Helper()
+	raw, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body, found := strings.Cut(string(raw), "## Running sweeps as a service")
+	if !found {
+		t.Fatal("EXPERIMENTS.md lost its \"Running sweeps as a service\" section")
+	}
+	_, block, found := strings.Cut(body, "```sh")
+	if !found {
+		t.Fatal("service section lost its fenced command block")
+	}
+	block, _, _ = strings.Cut(block, "```")
+	for _, line := range strings.Split(block, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "go run ./"):
+			goRuns = append(goRuns, strings.Fields(line))
+		case strings.HasPrefix(line, "curl "):
+			curls = append(curls, line)
+		}
+	}
+	if len(goRuns) < 4 || len(curls) < 5 {
+		t.Fatalf("service section documents %d go-run and %d curl commands; format changed?",
+			len(goRuns), len(curls))
+	}
+	return goRuns, curls
+}
+
+// startDaemon launches a built daemon binary on an ephemeral port and
+// returns its base URL, the running command, and a channel that yields
+// the exit error once the process stops.
+func startDaemon(t *testing.T, dir, tool string, args ...string) (string, *exec.Cmd, <-chan error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		if _, addr, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = addr
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("%s never announced its listen address", tool)
+	}
+	// Drain the rest of stderr so the daemon never blocks on the pipe.
+	drained := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteString("\n")
+		}
+		drained <- rest.String()
+	}()
+	exited := make(chan error, 1)
+	go func() {
+		err := cmd.Wait()
+		t.Logf("%s stderr after startup:\n%s", tool, <-drained)
+		exited <- err
+	}()
+	return base, cmd, exited
+}
+
+// curlEquivalent executes one documented curl line against base using
+// net/http (the test environment need not ship curl) and returns the
+// response body. Only the two shapes the doc uses are supported.
+func curlEquivalent(t *testing.T, base, line string) string {
+	t.Helper()
+	var (
+		resp *http.Response
+		err  error
+	)
+	if _, rest, isPost := strings.Cut(line, "-d '"); isPost {
+		payload, after, ok := strings.Cut(rest, "'")
+		if !ok {
+			t.Fatalf("unparseable curl line: %s", line)
+		}
+		path := urlPath(t, strings.TrimSpace(after))
+		resp, err = http.Post(base+path, "application/json", strings.NewReader(payload))
+	} else {
+		fields := strings.Fields(line)
+		path := urlPath(t, fields[len(fields)-1])
+		resp, err = http.Get(base + path)
+	}
+	if err != nil {
+		t.Fatalf("curl line %q: %v", line, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("curl line %q: status %d: %s", line, resp.StatusCode, buf.String())
+	}
+	return buf.String()
+}
+
+// urlPath strips the documented fixed address down to its path.
+func urlPath(t *testing.T, u string) string {
+	t.Helper()
+	i := strings.Index(u, "/v1/")
+	if i < 0 {
+		if j := strings.LastIndex(u, "/"); j > len("http://") {
+			return u[j:]
+		}
+		t.Fatalf("unparseable documented URL %q", u)
+	}
+	return u[i:]
+}
+
+// TestCLIServe drives the documented sweep-service flow end to end:
+// daemon up on an ephemeral port, every documented curl exchange over
+// the wire, the load generator against the live address, then a SIGTERM
+// drain that must exit 0. The in-process chaos drill and the mlpexp
+// -serve alias run afterwards.
+func TestCLIServe(t *testing.T) {
+	dir := buildTools(t)
+	goRuns, curls := serveSection(t)
+
+	// The documented daemon line must be the mlpserve invocation.
+	if filepath.Base(goRuns[0][2]) != "mlpserve" {
+		t.Fatalf("first documented command is %v, want mlpserve", goRuns[0])
+	}
+	base, cmd, exited := startDaemon(t, dir, "mlpserve", "-addr", "127.0.0.1:0")
+
+	for _, line := range curls {
+		line := line
+		t.Run(line, func(t *testing.T) {
+			body := curlEquivalent(t, base, line)
+			switch {
+			case strings.Contains(line, "/v1/jobs") && strings.Contains(line, "experiment"):
+				if !strings.Contains(body, "mlpcache.table/v1") {
+					t.Fatalf("experiment job did not return a table document: %.200s", body)
+				}
+			case strings.Contains(line, "/v1/jobs"):
+				if !strings.Contains(body, "mlpcache.metrics/v1") {
+					t.Fatalf("job did not return a metrics document: %.200s", body)
+				}
+			case strings.Contains(line, "/metrics"):
+				if !strings.Contains(body, "service.jobs.admitted") {
+					t.Fatalf("/metrics missing service counters: %.200s", body)
+				}
+			}
+		})
+	}
+
+	// The documented loadgen-against-a-live-daemon command, retargeted.
+	var loadgenArgs []string
+	for _, argv := range goRuns {
+		if strings.Contains(argv[2], "loadgen") && hasFlag(argv, "-url") {
+			loadgenArgs = argv[3:]
+			break
+		}
+	}
+	if loadgenArgs == nil {
+		t.Fatal("service section lost its loadgen -url command")
+	}
+	for i := range loadgenArgs {
+		if loadgenArgs[i] == "-url" {
+			loadgenArgs[i+1] = base
+		}
+	}
+	out, err := exec.Command(filepath.Join(dir, "loadgen"), loadgenArgs...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadgen against live daemon: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 lost") {
+		t.Fatalf("loadgen lost jobs:\n%s", out)
+	}
+
+	// Graceful drain: SIGTERM, exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("mlpserve exit after SIGTERM: %v (want 0)", err)
+		}
+	case <-time.After(time.Minute):
+		cmd.Process.Kill()
+		t.Fatal("mlpserve failed to drain on SIGTERM")
+	}
+
+	// The self-contained chaos drill.
+	var chaosArgs []string
+	for _, argv := range goRuns {
+		if strings.Contains(argv[2], "loadgen") && !hasFlag(argv, "-url") {
+			chaosArgs = argv[3:]
+			break
+		}
+	}
+	if chaosArgs == nil {
+		t.Fatal("service section lost its in-process chaos loadgen command")
+	}
+	out, err = exec.Command(filepath.Join(dir, "loadgen"), chaosArgs...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("in-process chaos loadgen: %v\n%s", err, out)
+	}
+
+	// The mlpexp -serve alias answers jobs and drains too.
+	base, cmd, exited = startDaemon(t, dir, "mlpexp", "-serve", "-addr", "127.0.0.1:0")
+	body := curlEquivalent(t, base, "curl -s http://127.0.0.1:8321/healthz")
+	if !strings.Contains(body, "ok") {
+		t.Fatalf("mlpexp -serve healthz: %q", body)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("mlpexp -serve exit after SIGTERM: %v (want 0)", err)
+		}
+	case <-time.After(time.Minute):
+		cmd.Process.Kill()
+		t.Fatal("mlpexp -serve failed to drain on SIGTERM")
+	}
+}
+
+func hasFlag(argv []string, flag string) bool {
+	for _, a := range argv {
+		if a == flag {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCLITimeout checks the -timeout flags: an expired budget is a
+// one-line typed diagnostic and exit 1, never a panic or a hang.
+func TestCLITimeout(t *testing.T) {
+	dir := buildTools(t)
+	mustFailCleanly := func(t *testing.T, tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(dir, tool), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s %v: expected non-zero exit\n%s", tool, args, out)
+		}
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%s %v: did not run: %v", tool, args, err)
+		}
+		if strings.Contains(string(out), "panic:") || strings.Contains(string(out), "goroutine ") {
+			t.Fatalf("%s %v: panic escaped to the user:\n%s", tool, args, out)
+		}
+		return string(out)
+	}
+
+	t.Run("mlpsim", func(t *testing.T) {
+		out := mustFailCleanly(t, "mlpsim", "-bench", "mcf", "-n", "80000000",
+			"-timeout", "100ms", "-hist=false")
+		if !strings.Contains(out, "cancelled") {
+			t.Fatalf("diagnostic does not say cancelled:\n%s", out)
+		}
+	})
+
+	t.Run("mlpexp", func(t *testing.T) {
+		out := mustFailCleanly(t, "mlpexp", "-run", "tab3", "-n", "80000000",
+			"-bench", "mcf", "-timeout", "100ms")
+		if !strings.Contains(out, "cancelled") {
+			t.Fatalf("diagnostic does not say cancelled:\n%s", out)
+		}
+	})
+
+	t.Run("mlpsim-generous-timeout-succeeds", func(t *testing.T) {
+		runTool(t, dir, "mlpsim", "-bench", "micro.isolated", "-n", "50000",
+			"-timeout", "5m", "-hist=false")
+	})
 }

@@ -1,0 +1,93 @@
+// Command mlpserve runs the sweep service: a daemon that accepts
+// simulation and experiment jobs over HTTP and answers with the same
+// telemetry documents the batch CLIs write (mlpcache.metrics/v1 JSONL,
+// mlpcache.events/v1|v2 traces, mlpcache.table/v1 experiment JSON).
+//
+// The daemon is built for rough weather: admission is bounded (-queue,
+// -per-client) and rejects with 429 instead of queueing unboundedly,
+// every job runs under a deadline (-default-deadline capped by
+// -max-deadline) wired into the simulator's cooperative cancellation,
+// transient failures retry with jittered exponential backoff under a
+// retry budget, a panicking job is contained to a 500 for that job
+// alone, and identical jobs share one simulation through a bounded LRU
+// result cache. SIGINT/SIGTERM stops admission and drains in-flight
+// jobs under -drain-timeout (exit 0); a second signal force-cancels and
+// exits 1. GET /healthz, /readyz and /metrics expose liveness,
+// readiness and the service.* counters documented in
+// docs/OBSERVABILITY.md; docs/ROBUSTNESS.md documents the fault model.
+//
+// The -chaos-* flags arm the fault injectors from internal/faultinject
+// for self-tests and load drills — never enable them for real sweeps.
+//
+// Examples:
+//
+//	mlpserve -addr 127.0.0.1:8321
+//	curl -s -X POST -d '{"bench":"mcf","policy":"lin","instructions":1000000}' http://127.0.0.1:8321/v1/jobs
+//	curl -s http://127.0.0.1:8321/metrics
+//	mlpserve -addr 127.0.0.1:8321 -chaos-fail 200 -chaos-panic 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mlpcache/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8321", "listen address")
+		workers      = flag.Int("workers", 0, "simulation workers (0: GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 0, "bounded job-queue depth (0: default 64)")
+		perClient    = flag.Int("per-client", 0, "max in-system jobs per client (0: default 16, <0: unlimited)")
+		defaultN     = flag.Uint64("default-n", 0, "instructions when a job omits them (0: default 200000)")
+		maxN         = flag.Uint64("max-n", 0, "largest per-job instruction budget (0: default 50000000)")
+		defDeadline  = flag.Duration("default-deadline", 0, "per-job deadline when the job sets none (0: default 60s)")
+		maxDeadline  = flag.Duration("max-deadline", 0, "hard cap on any job deadline (0: default 5m)")
+		retries      = flag.Int("retries", 0, "max retry attempts per job on transient faults (0: default 3)")
+		cacheCap     = flag.Int("cache", 0, "result-cache capacity in entries (0: default 512, <0: disabled)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs after the first signal")
+		chaosSeed    = flag.Uint64("chaos-seed", 1, "fault-injection seed")
+		chaosFail    = flag.Int("chaos-fail", 0, "inject a transient job failure with this permille probability")
+		chaosPanic   = flag.Int("chaos-panic", 0, "inject a worker panic with this permille probability")
+		chaosJitter  = flag.Uint64("chaos-dram-jitter", 0, "max extra DRAM latency cycles injected per access (0: off)")
+		chaosFlip    = flag.Int("chaos-flip-bits", 0, "flip this many bits in each streamed telemetry body (0: off)")
+	)
+	flag.Parse()
+
+	s, err := service.New(service.Config{
+		Workers:             *workers,
+		QueueDepth:          *queueDepth,
+		PerClientCap:        *perClient,
+		DefaultInstructions: *defaultN,
+		MaxInstructions:     *maxN,
+		DefaultDeadline:     *defDeadline,
+		MaxDeadline:         *maxDeadline,
+		MaxRetries:          *retries,
+		CacheCapacity:       *cacheCap,
+		Chaos: service.Chaos{
+			Seed:              *chaosSeed,
+			FailPermille:      *chaosFail,
+			PanicPermille:     *chaosPanic,
+			DRAMJitterMax:     *chaosJitter,
+			FlipTelemetryBits: *chaosFlip,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlpserve: %v\n", err)
+		os.Exit(2)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlpserve: %v\n", err)
+		os.Exit(1)
+	}
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	os.Exit(service.Serve(s, l, sigs, *drainTimeout, os.Stderr))
+}

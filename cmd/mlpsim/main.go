@@ -19,10 +19,12 @@
 //	mlpsim -bench mcf -json -metrics out.jsonl -trace-events ev.jsonl
 //	mlpsim -bench mcf -trace-events ev.bin -trace-events-format v2 -snapshot-interval 250000
 //	mlpsim -bench mcf -policy lru -oracle
+//	mlpsim -bench mcf -n 100000000 -timeout 30s
 //	mlpsim -list
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -48,6 +50,7 @@ func main() {
 		pselBits    = flag.Int("psel", 0, "PSEL bits (0: policy default)")
 		randDyn     = flag.Bool("rand-dynamic", false, "use rand-dynamic leader selection for SBAR")
 		n           = flag.Uint64("n", 2_000_000, "instructions to simulate")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this wall-clock budget (0: none); exits 1")
 		seed        = flag.Uint64("seed", 42, "workload seed")
 		series      = flag.Bool("series", false, "print the Figure 11 time series")
 		interval    = flag.Uint64("interval", 100_000, "time-series sample interval (instructions)")
@@ -176,7 +179,13 @@ func main() {
 		cfg.Capture = capture
 	}
 
-	res, err := sim.Run(cfg, src)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := sim.RunContext(ctx, cfg, src)
 	if err != nil {
 		fatal(1, "%v", err)
 	}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"mlpcache/internal/simerr"
 )
 
 // renderable is any experiment result that can print itself; every
@@ -28,7 +30,9 @@ func SensitivityIDs() []string {
 	return []string{"sens-mem", "sens-cache", "sens-mshr", "sens-window", "stab", "cbs"}
 }
 
-// RunByID executes one experiment and renders it to w.
+// RunByID executes one experiment and renders it to w. A runner whose
+// Context was cancelled mid-sweep returns the wrapped
+// simerr.ErrCancelled instead of rendering a partial table.
 func RunByID(r *Runner, id string, w io.Writer) error {
 	if err := r.Validate(); err != nil {
 		return err
@@ -37,13 +41,30 @@ func RunByID(r *Runner, id string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := r.Err(); err != nil {
+		return err
+	}
 	res.Render(w)
 	return nil
 }
 
-// resolve runs the experiment behind an id.
-func resolve(r *Runner, id string) (renderable, error) {
-	var res renderable
+// resolve runs the experiment behind an id. A cancelled sweep unwinds
+// the builder with a cancelAbort panic (see Runner.fail); it is caught
+// here and handed back as the runner's recorded error.
+func resolve(r *Runner, id string) (res renderable, err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if _, ok := p.(cancelAbort); !ok {
+			panic(p)
+		}
+		res = nil
+		if err = r.Err(); err == nil {
+			err = simerr.New(simerr.ErrCancelled, "experiments: sweep cancelled")
+		}
+	}()
 	switch id {
 	case "fig1":
 		res = Figure1()
@@ -100,6 +121,9 @@ func RunByIDCSV(r *Runner, id string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := r.Err(); err != nil {
+		return err
+	}
 	return res.table().WriteCSV(w)
 }
 
@@ -111,6 +135,9 @@ func RunByIDJSON(r *Runner, id string, w io.Writer) error {
 	}
 	res, err := resolve(r, id)
 	if err != nil {
+		return err
+	}
+	if err := r.Err(); err != nil {
 		return err
 	}
 	return res.table().WriteJSON(w)

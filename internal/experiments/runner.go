@@ -9,6 +9,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -16,6 +18,7 @@ import (
 
 	"mlpcache/internal/metrics"
 	"mlpcache/internal/oracle"
+	"mlpcache/internal/rescache"
 	"mlpcache/internal/sim"
 	"mlpcache/internal/simerr"
 	"mlpcache/internal/workload"
@@ -46,6 +49,20 @@ type Runner struct {
 	// telemetry framing is preserved (see below).
 	Workers int
 
+	// Capacity bounds the memo table: at most this many results stay
+	// cached, evicted LRU (0: unbounded, the CLI default). Long-running
+	// callers — the sweep service in particular — set it so sustained
+	// traffic cannot grow the table without bound. Set before the first
+	// Run; eviction never breaks singleflight dedup (internal/rescache).
+	Capacity int
+
+	// Context, when non-nil, cancels in-flight and future simulations:
+	// each run polls it via sim.RunContext. The first cancellation is
+	// recorded and reported by Err, and the experiment builder unwinds
+	// immediately (RunByID and friends return the error instead of a
+	// partial table). The mlpexp -timeout flag wires a deadline here.
+	Context context.Context
+
 	// Trace, when non-nil, is installed as every fresh simulation's
 	// event tracer; a "run.start" boundary event (Label=benchmark,
 	// Policy=spec) precedes each run's stream. When runs execute
@@ -65,23 +82,37 @@ type Runner struct {
 	// documents to a JSONL file. Calls are serialized.
 	OnResult func(bench string, spec sim.PolicySpec, res sim.Result)
 
-	mu       sync.Mutex
-	cache    map[string]sim.Result
-	logs     map[string]*oracle.Log
-	inflight map[string]chan struct{}
+	memoOnce sync.Once
+	memo     *rescache.Cache[runEntry]
+	errMu    sync.Mutex
+	firstErr error
 	// outMu serializes Trace/OnResult emission across worker goroutines.
 	outMu sync.Mutex
 }
 
+// runEntry is one memoized simulation: the result, plus the captured
+// oracle access log when RunCaptured has recorded one.
+type runEntry struct {
+	res sim.Result
+	log *oracle.Log
+}
+
 // NewRunner returns a Runner with the given per-run instruction budget.
 func NewRunner(instructions, seed uint64) *Runner {
-	return &Runner{
-		Instructions: instructions,
-		Seed:         seed,
-		cache:        make(map[string]sim.Result),
-		logs:         make(map[string]*oracle.Log),
-		inflight:     make(map[string]chan struct{}),
-	}
+	return &Runner{Instructions: instructions, Seed: seed}
+}
+
+// table returns the memo cache, building it on first use with the
+// configured Capacity.
+func (r *Runner) table() *rescache.Cache[runEntry] {
+	r.memoOnce.Do(func() {
+		capacity := r.Capacity
+		if capacity < 0 {
+			capacity = 0
+		}
+		r.memo = rescache.New[runEntry](capacity)
+	})
+	return r.memo
 }
 
 // Validate checks that every benchmark the runner is restricted to
@@ -102,6 +133,9 @@ func (r *Runner) Validate() error {
 	if r.Workers < 0 {
 		return simerr.New(simerr.ErrBadConfig, "experiments: workers must be >= 0, got %d", r.Workers)
 	}
+	if r.Capacity < 0 {
+		return simerr.New(simerr.ErrBadConfig, "experiments: capacity must be >= 0, got %d", r.Capacity)
+	}
 	return nil
 }
 
@@ -111,6 +145,32 @@ func (r *Runner) Names() []string {
 		return r.Benchmarks
 	}
 	return workload.Names()
+}
+
+// context resolves the runner's cancellation context.
+func (r *Runner) context() context.Context {
+	if r.Context != nil {
+		return r.Context
+	}
+	return context.Background()
+}
+
+// Err reports the first cancellation (or other run failure) the runner
+// observed; experiments render nothing useful after one, so RunByID and
+// friends check it before emitting output.
+func (r *Runner) Err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.firstErr
+}
+
+// noteErr records the first failure.
+func (r *Runner) noteErr(err error) {
+	r.errMu.Lock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+	r.errMu.Unlock()
 }
 
 // workers resolves the effective pool size.
@@ -141,17 +201,37 @@ func forBenches[T any](r *Runner, benches []string, fn func(bench string) T) []T
 		return out
 	}
 	sem := make(chan struct{}, n)
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
 	for i, b := range benches {
 		wg.Add(1)
 		go func(i int, b string) {
 			defer wg.Done()
+			// A panic in a worker goroutine (cancelAbort, or a genuine
+			// simulator bug) would kill the process before resolve's
+			// recover could see it; capture the first one and re-throw
+			// it from the caller's goroutine after the pool settles.
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = p
+					}
+					panicMu.Unlock()
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			out[i] = fn(b)
 		}(i, b)
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 	return out
 }
 
@@ -174,65 +254,40 @@ func (r *Runner) key(bench string, spec sim.PolicySpec, interval, epoch uint64) 
 	return fmt.Sprintf("%s|%+v|%d|%d|%d|%d", bench, spec, r.Instructions, r.Seed, interval, epoch)
 }
 
-// claim resolves key against the memo table: a cached result returns
-// (res, nil, false); an in-flight run returns its done channel to wait
-// on; otherwise the caller becomes the owner and must call finish.
-func (r *Runner) claim(key string) (res sim.Result, wait chan struct{}, owner bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if res, ok := r.cache[key]; ok {
-		return res, nil, false
-	}
-	if ch, ok := r.inflight[key]; ok {
-		return sim.Result{}, ch, false
-	}
-	if r.inflight == nil {
-		r.inflight = make(map[string]chan struct{})
-	}
-	ch := make(chan struct{})
-	r.inflight[key] = ch
-	return sim.Result{}, ch, true
-}
-
-// finish publishes an owned run's result and releases waiters.
-func (r *Runner) finish(key string, res sim.Result, ch chan struct{}, log *oracle.Log) {
-	r.mu.Lock()
-	if r.cache == nil {
-		r.cache = make(map[string]sim.Result)
-	}
-	r.cache[key] = res
-	if log != nil {
-		if r.logs == nil {
-			r.logs = make(map[string]*oracle.Log)
-		}
-		r.logs[key] = log
-	}
-	delete(r.inflight, key)
-	r.mu.Unlock()
-	close(ch)
-}
-
 func (r *Runner) run(bench string, spec sim.PolicySpec, interval, epoch uint64) sim.Result {
-	key := r.key(bench, spec, interval, epoch)
-	for {
-		res, wait, owner := r.claim(key)
-		if owner {
-			res = r.simulate(bench, spec, interval, epoch, nil, false)
-			r.finish(key, res, r.inflightChan(key), nil)
-			return res
-		}
-		if wait == nil {
-			return res
-		}
-		<-wait
+	e, err := r.table().DoIf(r.context(), r.key(bench, spec, interval, epoch), nil,
+		func(runEntry, bool) (runEntry, error) {
+			res, err := r.simulate(bench, spec, interval, epoch, nil, false)
+			return runEntry{res: res}, err
+		})
+	if err != nil {
+		r.fail(err)
+		return sim.Result{}
 	}
+	return e.res
 }
 
-// inflightChan re-fetches the owner's done channel (claim registered it).
-func (r *Runner) inflightChan(key string) chan struct{} {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.inflight[key]
+// cancelAbort is the panic value fail throws on cancellation. Builders
+// dereference result internals (histograms, series), so a cancelled run
+// cannot hand back a zero Result and let the table loop continue — the
+// builder unwinds instead, and resolve converts the abort back into the
+// runner's recorded Err.
+type cancelAbort struct{}
+
+// fail routes a run error: cancellations are recorded for Err and abort
+// the experiment builder via a cancelAbort panic that resolve recovers;
+// anything else is the old MustRun contract, a simulator bug on
+// compiled-in inputs, and panics into the run boundary for real.
+func (r *Runner) fail(err error) {
+	if errors.Is(err, simerr.ErrCancelled) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		if !errors.Is(err, simerr.ErrCancelled) {
+			err = simerr.Wrap(simerr.ErrCancelled, err, "experiments: sweep cancelled")
+		}
+		r.noteErr(err)
+		panic(cancelAbort{})
+	}
+	panic(err)
 }
 
 // bufTracer collects one concurrent run's events for contiguous replay.
@@ -244,7 +299,7 @@ func (b *bufTracer) Emit(ev metrics.Event) { b.events = append(b.events, ev) }
 // OnResult — used when a memoized result is re-run only to capture its
 // access stream, whose telemetry was already emitted the first time.
 func (r *Runner) simulate(bench string, spec sim.PolicySpec, interval, epoch uint64,
-	capture sim.AccessObserver, silent bool) sim.Result {
+	capture sim.AccessObserver, silent bool) (sim.Result, error) {
 
 	w, ok := workload.ByName(bench)
 	if !ok {
@@ -277,7 +332,10 @@ func (r *Runner) simulate(bench string, spec sim.PolicySpec, interval, epoch uin
 			buf = &bufTracer{}
 			cfg.Trace = buf
 		}
-		res := sim.MustRun(cfg, w.Build(r.Seed))
+		res, err := sim.RunContext(r.context(), cfg, w.Build(r.Seed))
+		if err != nil {
+			return sim.Result{}, err
+		}
 		if trace != nil || onResult != nil {
 			r.outMu.Lock()
 			defer r.outMu.Unlock()
@@ -291,18 +349,21 @@ func (r *Runner) simulate(bench string, spec sim.PolicySpec, interval, epoch uin
 				onResult(bench, spec, res)
 			}
 		}
-		return res
+		return res, nil
 	}
 
 	if trace != nil {
 		trace.Emit(start)
 		cfg.Trace = trace
 	}
-	res := sim.MustRun(cfg, w.Build(r.Seed))
+	res, err := sim.RunContext(r.context(), cfg, w.Build(r.Seed))
+	if err != nil {
+		return sim.Result{}, err
+	}
 	if onResult != nil {
 		onResult(bench, spec, res)
 	}
-	return res
+	return res, nil
 }
 
 // RunCaptured is Run with an oracle capture sink attached: it returns
@@ -312,33 +373,21 @@ func (r *Runner) simulate(bench string, spec sim.PolicySpec, interval, epoch uin
 // stream — the run is deterministic, so the result is identical and its
 // telemetry must not be emitted twice.
 func (r *Runner) RunCaptured(bench string, spec sim.PolicySpec) (sim.Result, *oracle.Log) {
-	key := r.key(bench, spec, 0, 0)
-	for {
-		r.mu.Lock()
-		if log, ok := r.logs[key]; ok {
-			res := r.cache[key]
-			r.mu.Unlock()
-			return res, log
-		}
-		_, cached := r.cache[key]
-		if ch, busy := r.inflight[key]; busy {
-			r.mu.Unlock()
-			<-ch
-			continue
-		}
-		if r.inflight == nil {
-			r.inflight = make(map[string]chan struct{})
-		}
-		ch := make(chan struct{})
-		r.inflight[key] = ch
-		r.mu.Unlock()
-
-		cap := oracle.NewCapture()
-		res := r.simulate(bench, spec, 0, 0, cap, cached)
-		log := cap.Log()
-		r.finish(key, res, ch, log)
-		return res, log
+	e, err := r.table().DoIf(r.context(), r.key(bench, spec, 0, 0),
+		func(e runEntry) bool { return e.log != nil },
+		func(prev runEntry, cached bool) (runEntry, error) {
+			cap := oracle.NewCapture()
+			res, err := r.simulate(bench, spec, 0, 0, cap, cached)
+			if err != nil {
+				return runEntry{}, err
+			}
+			return runEntry{res: res, log: cap.Log()}, nil
+		})
+	if err != nil {
+		r.fail(err)
+		return sim.Result{}, oracle.NewCapture().Log()
 	}
+	return e.res, e.log
 }
 
 // Baseline returns the benchmark's LRU result.
@@ -348,12 +397,7 @@ func (r *Runner) Baseline(bench string) sim.Result {
 
 // CachedKeys lists memoized run keys (for tests).
 func (r *Runner) CachedKeys() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	keys := make([]string, 0, len(r.cache))
-	for k := range r.cache {
-		keys = append(keys, k)
-	}
+	keys := r.table().Keys()
 	sort.Strings(keys)
 	return keys
 }

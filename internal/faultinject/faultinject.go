@@ -109,6 +109,21 @@ func (in *Injector) ThrottleDue(retired uint64) (capacity int, due bool) {
 	return in.plan.MSHRCapacity, true
 }
 
+// Chance draws one seeded decision: true with probability
+// permille/1000. The sweep service's chaos layer uses it to inject
+// transient job failures and worker panics at a configured rate while
+// keeping the fault sequence replayable. Not safe for concurrent use —
+// callers sharing an injector across goroutines serialize access.
+func (in *Injector) Chance(permille int) bool {
+	if in == nil || permille <= 0 {
+		return false
+	}
+	if permille >= 1000 {
+		return true
+	}
+	return in.next()%1000 < uint64(permille)
+}
+
 // FlipBits returns a copy of data with n random bit flips (positions
 // drawn from the seed), sparing the first skip bytes — pass the magic
 // length to corrupt a trace body while keeping its header readable.

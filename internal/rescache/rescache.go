@@ -1,0 +1,207 @@
+// Package rescache is a bounded, singleflight-deduplicating result
+// cache shared by the experiment runner's memo table and the sweep
+// service's result store. It applies the paper's own subject matter to
+// its infrastructure: entries are ranked by a recency stack and evicted
+// LRU, the same baseline the replacement study of Section 3 measures
+// every policy against, so the memo table cannot grow without bound
+// under heavy sweep traffic.
+//
+// Concurrency contract: lookups of the same key coalesce into one
+// compute (singleflight). If the owner's compute fails, nothing is
+// cached and exactly the waiters still interested retry — each under
+// its own context — so one job's deadline cannot poison another's
+// result. Eviction never breaks dedup: an in-flight compute is tracked
+// separately from the entry table, so a key evicted mid-wait simply
+// recomputes once.
+package rescache
+
+import (
+	"context"
+	"sync"
+)
+
+// Cache is a string-keyed bounded LRU with singleflight dedup. The zero
+// value is not ready; use New. A Capacity of 0 means unbounded.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*entry[V]
+	// head/tail of the recency stack: head is MRU, tail is LRU.
+	head, tail *entry[V]
+	inflight   map[string]chan struct{}
+
+	hits, misses, evictions uint64
+}
+
+type entry[V any] struct {
+	key        string
+	val        V
+	prev, next *entry[V]
+}
+
+// New returns an empty cache holding at most capacity entries (0:
+// unbounded).
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		entries:  make(map[string]*entry[V]),
+		inflight: make(map[string]chan struct{}),
+	}
+}
+
+// Stats reports lifetime hit/miss/eviction counts.
+func (c *Cache[V]) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Keys returns the cached keys in unspecified order.
+func (c *Cache[V]) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Get peeks at a key without computing, bumping its recency on a hit.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.touch(e)
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Do returns the cached value for key, computing it via fn at most once
+// across concurrent callers. See DoIf for the full contract.
+func (c *Cache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, error) {
+	return c.DoIf(ctx, key, nil, func(V, bool) (V, error) { return fn() })
+}
+
+// DoIf is Do with an acceptance predicate: a cached value only counts
+// as a hit when ok (nil: always) accepts it; otherwise the caller that
+// wins the singleflight recomputes via fn, which receives the stale
+// value (if any) and replaces it. The runner uses this to upgrade a
+// result-only entry with a captured access log without re-keying.
+//
+// While waiting on another caller's compute, ctx aborts the wait (the
+// compute itself keeps running for whoever still wants it). If the
+// owner's fn fails, its error is returned to the owner alone; waiters
+// re-claim and retry under their own contexts.
+func (c *Cache[V]) DoIf(ctx context.Context, key string, ok func(V) bool,
+	fn func(prev V, cached bool) (V, error)) (V, error) {
+
+	var zero V
+	for {
+		c.mu.Lock()
+		if e, found := c.entries[key]; found && (ok == nil || ok(e.val)) {
+			c.touch(e)
+			c.hits++
+			v := e.val
+			c.mu.Unlock()
+			return v, nil
+		}
+		if ch, busy := c.inflight[key]; busy {
+			c.mu.Unlock()
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+			continue
+		}
+		var prev V
+		var cached bool
+		if e, found := c.entries[key]; found {
+			prev, cached = e.val, true
+		}
+		ch := make(chan struct{})
+		c.inflight[key] = ch
+		c.misses++
+		c.mu.Unlock()
+
+		v, err := fn(prev, cached)
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil {
+			c.put(key, v)
+		}
+		c.mu.Unlock()
+		close(ch)
+		if err != nil {
+			return zero, err
+		}
+		return v, nil
+	}
+}
+
+// put inserts or replaces key at the MRU position and evicts the LRU
+// tail while over capacity. Callers hold c.mu.
+func (c *Cache[V]) put(key string, v V) {
+	if e, ok := c.entries[key]; ok {
+		e.val = v
+		c.touch(e)
+		return
+	}
+	e := &entry[V]{key: key, val: v}
+	c.entries[key] = e
+	c.pushFront(e)
+	for c.capacity > 0 && len(c.entries) > c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+		c.evictions++
+	}
+}
+
+// touch moves an entry to the MRU position. Callers hold c.mu.
+func (c *Cache[V]) touch(e *entry[V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache[V]) pushFront(e *entry[V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache[V]) unlink(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,183 @@
+package rescache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](2)
+	ctx := context.Background()
+	get := func(k string, v int) int {
+		got, err := c.Do(ctx, k, func() (int, error) { return v, nil })
+		if err != nil {
+			t.Fatalf("Do(%s): %v", k, err)
+		}
+		return got
+	}
+	get("a", 1)
+	get("b", 2)
+	get("a", 1) // touch a: LRU order is now b, a
+	get("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction at capacity 2")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing after eviction", k)
+		}
+	}
+	if hits, misses, ev := c.Stats(); ev != 1 || misses != 3 || hits < 1 {
+		t.Fatalf("stats hits=%d misses=%d evictions=%d, want 1 eviction, 3 misses", hits, misses, ev)
+	}
+	keys := c.Keys()
+	sort.Strings(keys)
+	if fmt.Sprint(keys) != "[a c]" {
+		t.Fatalf("keys = %v, want [a c]", keys)
+	}
+}
+
+func TestUnboundedByDefault(t *testing.T) {
+	c := New[int](0)
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, err := c.Do(ctx, k, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 100 {
+		t.Fatalf("unbounded cache holds %d entries, want 100", c.Len())
+	}
+	if _, _, ev := c.Stats(); ev != 0 {
+		t.Fatalf("unbounded cache evicted %d entries", ev)
+	}
+}
+
+// TestSingleflight checks that concurrent callers of one key share a
+// single compute, even while unrelated keys churn the LRU stack.
+func TestSingleflight(t *testing.T) {
+	c := New[int](1)
+	ctx := context.Background()
+	var computes atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do(ctx, "hot", func() (int, error) {
+				computes.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("hot key computed %d times, want 1", n)
+	}
+	// Evict the hot key, then recompute: dedup must survive eviction.
+	if _, err := c.Do(ctx, "cold", func() (int, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("hot"); ok {
+		t.Fatal("hot key survived capacity-1 eviction")
+	}
+	if _, err := c.Do(ctx, "hot", func() (int, error) { computes.Add(1); return 42, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n := computes.Load(); n != 2 {
+		t.Fatalf("recompute after eviction ran %d times total, want 2", n)
+	}
+}
+
+// TestOwnerErrorDoesNotPoison checks that a failed compute caches
+// nothing and that waiters retry under their own context.
+func TestOwnerErrorDoesNotPoison(t *testing.T) {
+	c := New[int](0)
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 0, boom
+		})
+	}()
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(context.Background(), "k", func() (int, error) { return 7, nil })
+		done <- err
+	}()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("waiter retry failed: %v", err)
+	}
+	if v, ok := c.Get("k"); !ok || v != 7 {
+		t.Fatalf("retry result = %d, %v; want 7 cached", v, ok)
+	}
+}
+
+// TestWaiterContextCancel checks a waiter abandons a slow compute when
+// its own context dies, without disturbing the owner.
+func TestWaiterContextCancel(t *testing.T) {
+	c := New[int](0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), "slow", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Do(ctx, "slow", func() (int, error) { return 0, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	close(release)
+	if v, ok := c.Get("slow"); !ok && v != 0 {
+		// The owner may not have published yet; Do again to synchronize.
+		if got, err := c.Do(context.Background(), "slow", func() (int, error) { return 99, nil }); err != nil || got != 1 {
+			t.Fatalf("owner result lost: got %d, %v", got, err)
+		}
+	}
+}
+
+// TestDoIfUpgrade exercises the predicate path: a stale entry is
+// replaced in place and keeps its key.
+func TestDoIfUpgrade(t *testing.T) {
+	c := New[int](0)
+	ctx := context.Background()
+	c.Do(ctx, "k", func() (int, error) { return 1, nil })
+	v, err := c.DoIf(ctx, "k", func(v int) bool { return v >= 10 },
+		func(prev int, cached bool) (int, error) {
+			if !cached || prev != 1 {
+				t.Fatalf("upgrade saw prev=%d cached=%v", prev, cached)
+			}
+			return prev + 10, nil
+		})
+	if err != nil || v != 11 {
+		t.Fatalf("DoIf = %d, %v; want 11", v, err)
+	}
+	if got, _ := c.Get("k"); got != 11 {
+		t.Fatalf("upgraded entry = %d, want 11", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("upgrade duplicated the entry: len %d", c.Len())
+	}
+}

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestChaosAccounting is the PR's headline robustness check: ≥1000
+// concurrent HTTP jobs against a live listener with every fault
+// injector armed — transient failures, worker panics, DRAM jitter,
+// telemetry bit-flips — plus deliberately short deadlines and enough
+// clients to trip the per-client cap. Every request must come back with
+// a terminal status (no hangs, no lost jobs), client-observed outcomes
+// must reconcile exactly with the server's counters, and a SIGTERM
+// afterwards must drain to exit 0.
+func TestChaosAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is simulation-heavy")
+	}
+	const jobs = 1000
+
+	s, err := New(Config{
+		Workers:        8,
+		QueueDepth:     64,
+		PerClientCap:   48,
+		MaxRetries:     2,
+		RetryBaseDelay: 100 * time.Microsecond,
+		RetryMaxDelay:  time.Millisecond,
+		CacheCapacity:  64,
+		Chaos: Chaos{
+			Seed:              7,
+			FailPermille:      120,
+			PanicPermille:     20,
+			DRAMJitterMax:     16,
+			FlipTelemetryBits: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	go func() { exited <- Serve(s, l, sigs, 30*time.Second, io.Discard) }()
+	base := "http://" + l.Addr().String()
+
+	benches := []string{"micro.isolated", "micro.parallel", "micro.figure1", "micro.pollution", "micro.stores"}
+	policies := []string{"lru", "lin", "sbar"}
+	telemetry := []string{TelemetryMetrics, TelemetryEventsV1, TelemetryEventsV2}
+
+	type result struct {
+		status int
+		err    error
+	}
+	results := make([]result, jobs)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			deadline := 0
+			if i%17 == 0 {
+				deadline = 1 // near-certain 504
+			}
+			body := fmt.Sprintf(
+				`{"bench":%q,"policy":%q,"instructions":%d,"seed":%d,"telemetry":%q,"deadline_ms":%d,"client":"c%d"}`,
+				benches[i%len(benches)], policies[i%len(policies)],
+				4_000+(i%7)*1_000, uint64(i%11)+1, telemetry[i%len(telemetry)], deadline, i%5)
+			resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results[i] = result{status: resp.StatusCode}
+		}(i)
+	}
+	wg.Wait()
+
+	counts := map[int]int{}
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("job %d got a transport error (lost job): %v", i, r.err)
+		}
+		counts[r.status]++
+	}
+	t.Logf("status counts: %v", counts)
+	total := 0
+	for code, n := range counts {
+		switch code {
+		case 200, 429, 500, 503, 504:
+			total += n
+		default:
+			t.Fatalf("unexpected status %d (%d jobs)", code, n)
+		}
+	}
+	if total != jobs {
+		t.Fatalf("accounted for %d of %d jobs", total, jobs)
+	}
+
+	c := s.Snapshot()
+	t.Logf("server counters: %+v", c)
+	if got := c.Completed + c.Failed + c.Cancelled; got != c.Admitted {
+		t.Fatalf("admitted %d != completed %d + failed %d + cancelled %d",
+			c.Admitted, c.Completed, c.Failed, c.Cancelled)
+	}
+	if want := uint64(counts[200]); c.Completed != want {
+		t.Fatalf("completed = %d, client saw %d 200s", c.Completed, want)
+	}
+	if want := uint64(counts[429]); c.RejectedQueue+c.RejectedClient != want {
+		t.Fatalf("rejections queue=%d client=%d, client saw %d 429s",
+			c.RejectedQueue, c.RejectedClient, want)
+	}
+	if want := uint64(counts[503]); c.RejectedDraining != want {
+		t.Fatalf("draining rejections = %d, client saw %d 503s", c.RejectedDraining, want)
+	}
+	if want := uint64(counts[504]); c.Cancelled != want {
+		t.Fatalf("cancelled = %d, client saw %d 504s", c.Cancelled, want)
+	}
+	if c.Panics == 0 {
+		t.Fatal("panic injection armed but no worker panic recovered")
+	}
+	if c.Retried == 0 {
+		t.Fatal("transient-fault injection armed but nothing retried")
+	}
+	if counts[200] == 0 {
+		t.Fatal("no job survived the chaos sweep")
+	}
+
+	// Clean SIGTERM drain after the storm.
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("drain exit code = %d, want 0", code)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon failed to drain")
+	}
+}

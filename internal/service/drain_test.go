@@ -1,0 +1,144 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mlpcache/internal/simerr"
+)
+
+// TestSignalDrain is the table-driven shutdown contract:
+//
+//   - one SIGTERM: admission stops, the in-flight job finishes, the
+//     daemon exits 0;
+//   - a second SIGTERM mid-drain: remaining jobs are force-cancelled
+//     (still answered) and the daemon exits nonzero.
+//
+// Serve takes its signals from a plain channel, so the whole table runs
+// in-process and race-clean — no child processes, no real signal
+// delivery.
+func TestSignalDrain(t *testing.T) {
+	cases := []struct {
+		name         string
+		signals      int
+		instructions uint64
+		drainTimeout time.Duration
+		wantExit     int
+		wantJobDone  bool // job completes (true) vs cancelled (false)
+	}{
+		{
+			name:         "single signal drains and exits zero",
+			signals:      1,
+			instructions: 800_000,
+			drainTimeout: 2 * time.Minute,
+			wantExit:     0,
+			wantJobDone:  true,
+		},
+		{
+			name:         "second signal forces nonzero exit",
+			signals:      2,
+			instructions: 50_000_000,
+			drainTimeout: 2 * time.Minute,
+			wantExit:     1,
+			wantJobDone:  false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := New(Config{Workers: 1, DefaultDeadline: 5 * time.Minute, MaxDeadline: 5 * time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigs := make(chan os.Signal, 2)
+			var logbuf bytes.Buffer
+			exited := make(chan int, 1)
+			go func() { exited <- Serve(s, l, sigs, tc.drainTimeout, &logbuf) }()
+
+			// Put one slow job in flight, then signal.
+			done := make(chan Outcome, 1)
+			go func() {
+				done <- s.Submit(context.Background(), Job{Bench: "mcf", Instructions: tc.instructions})
+			}()
+			waitInflight(t, s, 1)
+			for i := 0; i < tc.signals; i++ {
+				sigs <- syscall.SIGTERM
+				time.Sleep(10 * time.Millisecond) // let the first select fire before the second signal
+			}
+
+			var code int
+			select {
+			case code = <-exited:
+			case <-time.After(3 * time.Minute):
+				t.Fatal("daemon never exited")
+			}
+			if code != tc.wantExit {
+				t.Fatalf("exit code = %d, want %d\nlog:\n%s", code, tc.wantExit, logbuf.String())
+			}
+
+			var out Outcome
+			select {
+			case out = <-done:
+			case <-time.After(time.Minute):
+				t.Fatal("in-flight job was lost during shutdown")
+			}
+			if tc.wantJobDone {
+				if out.Err != nil {
+					t.Fatalf("drained job failed: %v", out.Err)
+				}
+			} else if !errors.Is(out.Err, simerr.ErrCancelled) {
+				t.Fatalf("forced job err = %v, want ErrCancelled", out.Err)
+			}
+
+			// Admission is closed either way.
+			late := s.Submit(context.Background(), Job{Bench: "micro.isolated", Instructions: 5_000})
+			if !errors.Is(late.Err, ErrDraining) {
+				t.Fatalf("post-shutdown submit err = %v, want ErrDraining", late.Err)
+			}
+			if !strings.Contains(logbuf.String(), "draining") {
+				t.Fatalf("log missing drain announcement:\n%s", logbuf.String())
+			}
+		})
+	}
+}
+
+// TestDrainDeadlineForcesStragglers checks Drain itself: a job that
+// outlives the drain deadline is cancelled, accounted, and the drain
+// still returns (exit 0 is the caller's decision).
+func TestDrainDeadlineForcesStragglers(t *testing.T) {
+	s, err := New(Config{Workers: 1, DefaultDeadline: 5 * time.Minute, MaxDeadline: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Outcome, 1)
+	go func() {
+		done <- s.Submit(context.Background(), Job{Bench: "mcf", Instructions: 50_000_000})
+	}()
+	waitInflight(t, s, 1)
+	start := time.Now()
+	s.Drain(50 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("drain with a 50ms deadline took %v", elapsed)
+	}
+	out := <-done
+	if !errors.Is(out.Err, simerr.ErrCancelled) {
+		t.Fatalf("straggler err = %v, want ErrCancelled", out.Err)
+	}
+	c := s.Snapshot()
+	if c.DrainForced == 0 {
+		t.Fatal("forced-drain counter never moved")
+	}
+	if c.Admitted != c.Completed+c.Failed+c.Cancelled {
+		t.Fatalf("drain lost a job: %+v", c)
+	}
+}

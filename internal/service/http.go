@@ -1,0 +1,96 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"mlpcache/internal/metrics"
+	"mlpcache/internal/simerr"
+)
+
+// maxJobBody bounds a job request's JSON body.
+const maxJobBody = 1 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/jobs  — submit one Job (JSON body), blocking until its
+//	                 outcome; 200 with the result body, 400 on a bad
+//	                 job, 429 when admission rejects it, 503 while
+//	                 draining, 504 on deadline, 500 on internal failure.
+//	GET  /healthz  — liveness: 200 while the process runs.
+//	GET  /readyz   — readiness: 200 accepting, 503 draining.
+//	GET  /metrics  — the service.* metric family as one
+//	                 mlpcache.metrics/v1 JSONL document.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		s.MetricsSnapshot().WriteJSONL(w, metrics.RunHeader{})
+	})
+	return mux
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	var job Job
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxJobBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := s.Submit(r.Context(), job)
+	if out.Err != nil {
+		writeError(w, statusFor(out.Err), out.Err)
+		return
+	}
+	w.Header().Set("Content-Type", out.ContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(out.Body)
+}
+
+// statusFor maps the typed error taxonomy onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClientCap):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, simerr.ErrCancelled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, simerr.ErrBadConfig) || errors.Is(err, simerr.ErrUnknownBenchmark):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorBody is the JSON error envelope every non-200 jobs response uses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}

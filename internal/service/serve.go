@@ -1,0 +1,67 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Serve runs the server's HTTP surface on l and blocks until shutdown,
+// returning the process exit code:
+//
+//   - First signal on sigs: admission stops (readyz flips to 503),
+//     in-flight and queued jobs drain under drainTimeout (stragglers
+//     past the deadline are cancelled but still answered), the listener
+//     closes, exit 0.
+//   - Second signal mid-drain: every remaining job is force-cancelled
+//     and Serve returns 1 immediately after they are accounted.
+//   - Listener failure: exit 1.
+//
+// logw receives one-line progress messages (the daemon's stderr).
+// cmd/mlpserve and the drain tests drive this directly — the tests feed
+// sigs from a plain channel, so the table runs in-process and
+// race-clean.
+func Serve(s *Server, l net.Listener, sigs <-chan os.Signal, drainTimeout time.Duration, logw io.Writer) int {
+	if logw == nil {
+		logw = io.Discard
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(l) }()
+	fmt.Fprintf(logw, "mlpserve: listening on http://%s\n", l.Addr())
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(logw, "mlpserve: listener failed: %v\n", err)
+		s.Close()
+		return 1
+	case sig := <-sigs:
+		fmt.Fprintf(logw, "mlpserve: caught %v, draining (deadline %v; signal again to force)\n", sig, drainTimeout)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.Drain(drainTimeout)
+		close(drained)
+	}()
+	code := 0
+	select {
+	case <-drained:
+		c := s.Snapshot()
+		fmt.Fprintf(logw, "mlpserve: drained: %d completed, %d failed, %d cancelled of %d admitted\n",
+			c.Completed, c.Failed, c.Cancelled, c.Admitted)
+	case sig := <-sigs:
+		fmt.Fprintf(logw, "mlpserve: caught second %v, forcing shutdown\n", sig)
+		s.Close()
+		<-drained
+		code = 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	hs.Shutdown(ctx)
+	return code
+}

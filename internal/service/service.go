@@ -1,0 +1,630 @@
+// Package service runs the paper's sweep family — the benchmark×policy
+// simulations behind the LIN results of Figure 5 and the SBAR results
+// of Figure 9 — as a long-lived daemon: concurrent jobs over HTTP with
+// admission control (bounded queue, per-client caps), per-job deadlines
+// plumbed into the simulator's cooperative cancellation check, capped
+// jittered retry with a token-bucket budget for transient faults,
+// worker-pool crash isolation (a panicking job converts to
+// simerr.ErrInternal without taking the daemon down), a bounded
+// LRU+singleflight result cache keyed by a stable config hash, and
+// graceful signal-driven drain. See docs/ROBUSTNESS.md for the fault
+// model and docs/OBSERVABILITY.md for the service.* metric catalog.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlpcache/internal/faultinject"
+	"mlpcache/internal/metrics"
+	"mlpcache/internal/rescache"
+	"mlpcache/internal/simerr"
+)
+
+// Admission and chaos sentinels. Job errors wrap exactly one of these
+// or a simerr sentinel; the HTTP layer maps them onto status codes.
+var (
+	// ErrQueueFull rejects a job because the bounded queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("job queue full")
+	// ErrClientCap rejects a job because its client already has too
+	// many jobs in the system (HTTP 429).
+	ErrClientCap = errors.New("per-client cap reached")
+	// ErrDraining rejects a job because the server is shutting down
+	// (HTTP 503).
+	ErrDraining = errors.New("server draining")
+	// ErrTransient marks a chaos-injected transient fault; the retry
+	// layer absorbs these until the attempt or budget limit.
+	ErrTransient = errors.New("transient injected fault")
+)
+
+// Chaos configures deterministic fault injection on the service path;
+// the zero value injects nothing. Rates are seeded through one
+// faultinject.Injector, so a failing run replays.
+type Chaos struct {
+	// Seed drives every chaos decision.
+	Seed uint64
+	// FailPermille injects ErrTransient into that fraction (0..1000) of
+	// job attempts, exercising the retry/backoff/budget path.
+	FailPermille int
+	// PanicPermille makes that fraction of job attempts panic inside
+	// the worker, exercising crash isolation.
+	PanicPermille int
+	// DRAMJitterMax forwards a faultinject DRAM-jitter plan into every
+	// simulation the service runs.
+	DRAMJitterMax uint64
+	// FlipTelemetryBits flips that many random bits in each streamed
+	// events response body (sparing a small header prefix), exercising
+	// client-side decode robustness.
+	FlipTelemetryBits int
+}
+
+// Active reports whether any chaos is configured.
+func (c Chaos) Active() bool {
+	return c.FailPermille > 0 || c.PanicPermille > 0 || c.DRAMJitterMax > 0 || c.FlipTelemetryBits > 0
+}
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to the documented default.
+type Config struct {
+	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 64).
+	QueueDepth int
+	// PerClientCap bounds one client's jobs in the system — queued plus
+	// running (default 16; negative disables the cap).
+	PerClientCap int
+	// DefaultInstructions is the per-run budget when a job names none
+	// (default 200k).
+	DefaultInstructions uint64
+	// MaxInstructions is the admission ceiling on a job's budget
+	// (default 50M).
+	MaxInstructions uint64
+	// DefaultDeadline bounds a job's wall time when it names none
+	// (default 60s).
+	DefaultDeadline time.Duration
+	// MaxDeadline is the ceiling on requested deadlines (default 5m).
+	MaxDeadline time.Duration
+	// MaxRetries caps transient-fault retries per job (default 3).
+	MaxRetries int
+	// RetryBaseDelay is the first backoff step (default 5ms); each
+	// retry doubles it up to RetryMaxDelay (default 100ms), jittered
+	// uniformly in [delay/2, delay].
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// RetryBudgetRatio earns that many retry tokens per admitted job
+	// (default 0.2); RetryBudgetBurst caps the bucket (default 16).
+	// An empty bucket fails a transient job instead of retrying — the
+	// storm brake.
+	RetryBudgetRatio float64
+	RetryBudgetBurst float64
+	// CacheCapacity bounds the result cache (default 512 entries;
+	// negative disables caching).
+	CacheCapacity int
+	// Chaos configures fault injection (zero: none).
+	Chaos Chaos
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.PerClientCap == 0 {
+		c.PerClientCap = 16
+	}
+	if c.DefaultInstructions == 0 {
+		c.DefaultInstructions = 200_000
+	}
+	if c.MaxInstructions == 0 {
+		c.MaxInstructions = 50_000_000
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 60 * time.Second
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBaseDelay == 0 {
+		c.RetryBaseDelay = 5 * time.Millisecond
+	}
+	if c.RetryMaxDelay == 0 {
+		c.RetryMaxDelay = 100 * time.Millisecond
+	}
+	if c.RetryBudgetRatio == 0 {
+		c.RetryBudgetRatio = 0.2
+	}
+	if c.RetryBudgetBurst == 0 {
+		c.RetryBudgetBurst = 16
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 512
+	}
+	return c
+}
+
+// Validate checks the resolved configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Workers < 1 {
+		return simerr.New(simerr.ErrBadConfig, "service: workers must be >= 1, got %d", c.Workers)
+	}
+	if c.QueueDepth < 1 {
+		return simerr.New(simerr.ErrBadConfig, "service: queue depth must be >= 1, got %d", c.QueueDepth)
+	}
+	if c.MaxRetries < 0 {
+		return simerr.New(simerr.ErrBadConfig, "service: max retries must be >= 0, got %d", c.MaxRetries)
+	}
+	for _, p := range []int{c.Chaos.FailPermille, c.Chaos.PanicPermille} {
+		if p < 0 || p > 1000 {
+			return simerr.New(simerr.ErrBadConfig, "service: chaos permille %d out of [0,1000]", p)
+		}
+	}
+	return nil
+}
+
+// task is one admitted job traveling through the queue.
+type task struct {
+	job      Job
+	ctx      context.Context
+	cancel   context.CancelFunc
+	stopLink func() bool // detaches the caller-context cancellation link
+	done     chan Outcome
+}
+
+// Outcome is a job's terminal state: a body on success, a typed error
+// otherwise, plus how many retries it consumed.
+type Outcome struct {
+	Body        []byte
+	ContentType string
+	Err         error
+	Retries     int
+}
+
+// Server is the sweep service: admission, worker pool, retry, result
+// cache, drain. Build with New; it starts accepting immediately.
+type Server struct {
+	cfg   Config
+	queue chan *task
+	cache *rescache.Cache[[]byte]
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	// admitMu serializes the draining flag flip against job admission:
+	// once Drain (or Close) sets draining under the lock, no Submit can
+	// add to the jobs WaitGroup, so the drain wait cannot race a late
+	// admission into a stopped worker pool.
+	admitMu     sync.Mutex
+	draining    atomic.Bool
+	stopWorkers chan struct{}
+	stopOnce    sync.Once
+	workerWG    sync.WaitGroup
+	jobs        sync.WaitGroup
+
+	clientMu sync.Mutex
+	clients  map[string]int
+
+	retryMu   sync.Mutex
+	budget    float64
+	jitterRNG uint64
+
+	chaosMu sync.Mutex
+	chaos   *faultinject.Injector
+
+	admitted         atomic.Uint64
+	completed        atomic.Uint64
+	failed           atomic.Uint64
+	cancelled        atomic.Uint64
+	rejectedQueue    atomic.Uint64
+	rejectedClient   atomic.Uint64
+	rejectedDraining atomic.Uint64
+	retried          atomic.Uint64
+	budgetExhausted  atomic.Uint64
+	panics           atomic.Uint64
+	drainForced      atomic.Uint64
+	inflight         atomic.Int64
+}
+
+// New builds and starts a Server: its worker pool is live and Submit /
+// the HTTP handler admit jobs until Drain or Close.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		queue:       make(chan *task, cfg.QueueDepth),
+		baseCtx:     ctx,
+		cancelAll:   cancel,
+		stopWorkers: make(chan struct{}),
+		clients:     make(map[string]int),
+		budget:      cfg.RetryBudgetBurst,
+		jitterRNG:   cfg.Chaos.Seed ^ 0x5deece66d,
+		chaos:       faultinject.NewInjector(faultinject.Plan{Seed: cfg.Chaos.Seed}),
+	}
+	if cfg.CacheCapacity > 0 {
+		s.cache = rescache.New[[]byte](cfg.CacheCapacity)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Config returns the server's resolved configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Submit runs one job through admission, the queue and the worker pool,
+// blocking until its terminal Outcome. ctx is the caller's context
+// (e.g. the HTTP request's): its cancellation propagates into the job,
+// but Submit always returns a fully accounted Outcome — a job is never
+// silently dropped.
+func (s *Server) Submit(ctx context.Context, job Job) Outcome {
+	job.normalize(s.cfg)
+	if err := job.Validate(s.cfg); err != nil {
+		return Outcome{Err: err}
+	}
+	if !s.acquireClient(job.Client) {
+		s.rejectedClient.Add(1)
+		return Outcome{Err: fmt.Errorf("service: client %q: %w", job.Client, ErrClientCap)}
+	}
+	s.admitMu.Lock()
+	if s.draining.Load() {
+		s.admitMu.Unlock()
+		s.releaseClient(job.Client)
+		s.rejectedDraining.Add(1)
+		return Outcome{Err: fmt.Errorf("service: %w", ErrDraining)}
+	}
+	s.jobs.Add(1)
+	s.admitMu.Unlock()
+	jctx, cancel := context.WithTimeout(s.baseCtx, job.deadline(s.cfg))
+	t := &task{
+		job:    job,
+		ctx:    jctx,
+		cancel: cancel,
+		done:   make(chan Outcome, 1),
+	}
+	t.stopLink = context.AfterFunc(ctx, cancel)
+	select {
+	case s.queue <- t:
+	default:
+		s.jobs.Done()
+		t.release()
+		s.releaseClient(job.Client)
+		s.rejectedQueue.Add(1)
+		return Outcome{Err: fmt.Errorf("service: %w", ErrQueueFull)}
+	}
+	s.admitted.Add(1)
+	s.earnRetryTokens()
+	return <-t.done
+}
+
+// release tears down the task's context plumbing.
+func (t *task) release() {
+	t.stopLink()
+	t.cancel()
+}
+
+func (s *Server) acquireClient(client string) bool {
+	s.clientMu.Lock()
+	defer s.clientMu.Unlock()
+	if s.cfg.PerClientCap > 0 && s.clients[client] >= s.cfg.PerClientCap {
+		return false
+	}
+	s.clients[client]++
+	return true
+}
+
+func (s *Server) releaseClient(client string) {
+	s.clientMu.Lock()
+	if s.clients[client]--; s.clients[client] <= 0 {
+		delete(s.clients, client)
+	}
+	s.clientMu.Unlock()
+}
+
+// worker pulls tasks until the drain machinery stops the pool. Every
+// dequeued task gets exactly one Outcome.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case t := <-s.queue:
+			s.inflight.Add(1)
+			out := s.execute(t)
+			s.inflight.Add(-1)
+			t.release()
+			s.releaseClient(t.job.Client)
+			t.done <- out
+			s.jobs.Done()
+		case <-s.stopWorkers:
+			return
+		}
+	}
+}
+
+// execute runs one task to a terminal outcome: success, typed failure,
+// cancellation, or retried success — with the worker's recover boundary
+// converting any panic into simerr.ErrInternal for this job alone.
+func (s *Server) execute(t *task) (out Outcome) {
+	attempt := 0
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.failed.Add(1)
+			out = Outcome{
+				Err:     simerr.New(simerr.ErrInternal, "service: job panicked: %v", r),
+				Retries: attempt,
+			}
+		}
+	}()
+	for ; ; attempt++ {
+		if err := t.ctx.Err(); err != nil {
+			s.cancelled.Add(1)
+			return Outcome{Err: simerr.Wrap(simerr.ErrCancelled, err, "service: job cancelled"), Retries: attempt}
+		}
+		body, ctype, err := s.runOnce(t)
+		if err == nil {
+			s.completed.Add(1)
+			return Outcome{Body: body, ContentType: ctype, Retries: attempt}
+		}
+		if errors.Is(err, simerr.ErrCancelled) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			s.cancelled.Add(1)
+			if !errors.Is(err, simerr.ErrCancelled) {
+				err = simerr.Wrap(simerr.ErrCancelled, err, "service: job cancelled")
+			}
+			return Outcome{Err: err, Retries: attempt}
+		}
+		if !errors.Is(err, ErrTransient) || attempt >= s.cfg.MaxRetries {
+			s.failed.Add(1)
+			return Outcome{Err: err, Retries: attempt}
+		}
+		if !s.spendRetryToken() {
+			s.budgetExhausted.Add(1)
+			s.failed.Add(1)
+			return Outcome{Err: fmt.Errorf("service: retry budget exhausted: %w", err), Retries: attempt}
+		}
+		s.retried.Add(1)
+		if !sleepCtx(t.ctx, s.backoff(attempt)) {
+			s.cancelled.Add(1)
+			return Outcome{
+				Err:     simerr.Wrap(simerr.ErrCancelled, t.ctx.Err(), "service: job cancelled in backoff"),
+				Retries: attempt + 1,
+			}
+		}
+	}
+}
+
+// runOnce is one attempt: chaos draws first (so retries see fresh
+// draws), then the cached or direct compute.
+func (s *Server) runOnce(t *task) ([]byte, string, error) {
+	if fail, pan := s.chaosDraw(); fail {
+		return nil, "", fmt.Errorf("service: chaos: %w", ErrTransient)
+	} else if pan {
+		panic(simerr.New(simerr.ErrInternal, "service: chaos-injected panic"))
+	}
+	ctype := contentType(t.job)
+	if s.cache != nil && cacheable(t.job) {
+		body, err := s.cache.Do(t.ctx, t.job.Key(), func() ([]byte, error) {
+			return s.compute(t.ctx, t.job)
+		})
+		return body, ctype, err
+	}
+	body, err := s.compute(t.ctx, t.job)
+	return body, ctype, err
+}
+
+// cacheable excludes event-stream jobs: their body is the run's
+// telemetry stream, which exists to observe a fresh execution.
+func cacheable(j Job) bool { return j.Telemetry == TelemetryMetrics }
+
+func contentType(j Job) string {
+	switch {
+	case j.Experiment != "":
+		return "application/json"
+	case j.Telemetry == TelemetryEventsV2:
+		return "application/octet-stream"
+	default:
+		return "application/x-ndjson"
+	}
+}
+
+// chaosDraw makes this attempt's injection decisions under one lock so
+// the seeded sequence is consumed atomically.
+func (s *Server) chaosDraw() (fail, panicNow bool) {
+	if !s.cfg.Chaos.Active() {
+		return false, false
+	}
+	s.chaosMu.Lock()
+	defer s.chaosMu.Unlock()
+	fail = s.chaos.Chance(s.cfg.Chaos.FailPermille)
+	if !fail {
+		panicNow = s.chaos.Chance(s.cfg.Chaos.PanicPermille)
+	}
+	return fail, panicNow
+}
+
+// backoff returns the jittered exponential delay for a retry attempt:
+// base<<attempt capped at RetryMaxDelay, then jittered uniformly into
+// [delay/2, delay] from a seeded LCG so retry timing is replayable.
+func (s *Server) backoff(attempt int) time.Duration {
+	d := s.cfg.RetryBaseDelay << uint(attempt)
+	if d > s.cfg.RetryMaxDelay || d <= 0 {
+		d = s.cfg.RetryMaxDelay
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	s.retryMu.Lock()
+	s.jitterRNG = s.jitterRNG*6364136223846793005 + 1442695040888963407
+	r := s.jitterRNG >> 33
+	s.retryMu.Unlock()
+	return time.Duration(half + int64(r%uint64(half+1)))
+}
+
+// sleepCtx sleeps d unless ctx dies first; reports whether it slept
+// fully.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// earnRetryTokens credits the token bucket on admission.
+func (s *Server) earnRetryTokens() {
+	s.retryMu.Lock()
+	s.budget += s.cfg.RetryBudgetRatio
+	if s.budget > s.cfg.RetryBudgetBurst {
+		s.budget = s.cfg.RetryBudgetBurst
+	}
+	s.retryMu.Unlock()
+}
+
+// spendRetryToken takes one token; false means the budget is dry and
+// the retry storm brake engages.
+func (s *Server) spendRetryToken() bool {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	if s.budget < 1 {
+		return false
+	}
+	s.budget--
+	return true
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight reports how many jobs are executing on workers right now.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Drain stops admission and waits for every admitted job to reach its
+// outcome. If timeout elapses first, remaining jobs are cancelled (they
+// still complete with accounted ErrCancelled outcomes — nothing is
+// dropped) and the drain is recorded as forced. The worker pool is
+// stopped before returning.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.admitMu.Lock()
+	s.draining.Store(true)
+	s.admitMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-timer.C:
+			s.drainForced.Add(1)
+			s.cancelAll()
+			<-done
+		}
+	} else {
+		<-done
+	}
+	s.stopOnce.Do(func() { close(s.stopWorkers) })
+	s.workerWG.Wait()
+	return nil
+}
+
+// Close force-stops the server: admission off, every in-flight job
+// cancelled (each still yields an accounted outcome), workers joined.
+// Safe after Drain; used by tests and the second-signal path.
+func (s *Server) Close() {
+	s.admitMu.Lock()
+	s.draining.Store(true)
+	s.admitMu.Unlock()
+	s.cancelAll()
+	s.jobs.Wait()
+	s.stopOnce.Do(func() { close(s.stopWorkers) })
+	s.workerWG.Wait()
+}
+
+// Counters is a point-in-time accounting snapshot. The invariant the
+// chaos tests enforce: Admitted == Completed + Failed + Cancelled once
+// the server is drained, with rejections accounted separately.
+type Counters struct {
+	Admitted, Completed, Failed, Cancelled          uint64
+	RejectedQueue, RejectedClient, RejectedDraining uint64
+	Retried, BudgetExhausted, Panics, DrainForced   uint64
+	CacheHits, CacheMisses, CacheEvictions          uint64
+}
+
+// Snapshot reads the counters.
+func (s *Server) Snapshot() Counters {
+	c := Counters{
+		Admitted:         s.admitted.Load(),
+		Completed:        s.completed.Load(),
+		Failed:           s.failed.Load(),
+		Cancelled:        s.cancelled.Load(),
+		RejectedQueue:    s.rejectedQueue.Load(),
+		RejectedClient:   s.rejectedClient.Load(),
+		RejectedDraining: s.rejectedDraining.Load(),
+		Retried:          s.retried.Load(),
+		BudgetExhausted:  s.budgetExhausted.Load(),
+		Panics:           s.panics.Load(),
+		DrainForced:      s.drainForced.Load(),
+	}
+	if s.cache != nil {
+		c.CacheHits, c.CacheMisses, c.CacheEvictions = s.cache.Stats()
+	}
+	return c
+}
+
+// MetricsSnapshot renders the live service.* metric family into a fresh
+// registry — the /metrics endpoint body. Every name here is cataloged
+// in docs/OBSERVABILITY.md (enforced bidirectionally by tests).
+func (s *Server) MetricsSnapshot() *metrics.Registry {
+	c := s.Snapshot()
+	reg := metrics.NewRegistry()
+	reg.Counter("service.jobs.admitted", "jobs", "jobs accepted into the queue").Add(c.Admitted)
+	reg.Counter("service.jobs.completed", "jobs", "jobs finished successfully").Add(c.Completed)
+	reg.Counter("service.jobs.failed", "jobs", "jobs failed terminally").Add(c.Failed)
+	reg.Counter("service.jobs.cancelled", "jobs", "jobs stopped by deadline or shutdown").Add(c.Cancelled)
+	reg.Counter("service.jobs.rejected.queue", "jobs", "jobs rejected: queue full").Add(c.RejectedQueue)
+	reg.Counter("service.jobs.rejected.client", "jobs", "jobs rejected: per-client cap").Add(c.RejectedClient)
+	reg.Counter("service.jobs.rejected.draining", "jobs", "jobs rejected during drain").Add(c.RejectedDraining)
+	reg.Counter("service.jobs.retried", "attempts", "retry attempts after transient faults").Add(c.Retried)
+	reg.Counter("service.retry.budget_exhausted", "jobs", "jobs failed with the retry bucket dry").Add(c.BudgetExhausted)
+	reg.Counter("service.worker.panics", "panics", "job panics caught at the worker boundary").Add(c.Panics)
+	reg.Counter("service.drain.forced", "drains", "drains that hit their deadline and force-cancelled").Add(c.DrainForced)
+	reg.Counter("service.cache.hits", "lookups", "result-cache hits").Add(c.CacheHits)
+	reg.Counter("service.cache.misses", "lookups", "result-cache misses (fresh computes)").Add(c.CacheMisses)
+	reg.Counter("service.cache.evictions", "entries", "result-cache LRU evictions").Add(c.CacheEvictions)
+	reg.Gauge("service.queue.depth", "jobs", "jobs waiting in the admission queue").Set(float64(len(s.queue)))
+	reg.Gauge("service.jobs.inflight", "jobs", "jobs executing on workers right now").Set(float64(s.inflight.Load()))
+	hitRate := 0.0
+	if lookups := c.CacheHits + c.CacheMisses; lookups > 0 {
+		hitRate = float64(c.CacheHits) / float64(lookups)
+	}
+	reg.Gauge("service.cache.hit_rate", "ratio", "result-cache hit fraction of lookups").Set(hitRate)
+	return reg
+}

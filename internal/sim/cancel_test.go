@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mlpcache/internal/simerr"
+)
+
+// TestRunContextPreCancelled checks an already-dead context stops the
+// run before any cycle executes.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, smallConfig(100_000), microMix(7))
+	if !errors.Is(err, simerr.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.Canceled", err)
+	}
+	if res.Instructions != 0 {
+		t.Fatalf("cancelled run still retired %d instructions", res.Instructions)
+	}
+}
+
+// TestRunContextDeadlineMidRun checks the cooperative in-loop poll: a
+// deadline far shorter than the run's wall time stops it with the
+// typed sentinel, and the deadline cause survives the wrap.
+func TestRunContextDeadlineMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, smallConfig(50_000_000), microMix(7))
+	if !errors.Is(err, simerr.ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.DeadlineExceeded", err)
+	}
+	// 50M instructions takes tens of seconds; cancellation must bite
+	// within the poll granularity, not at run completion.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, cooperative check is not firing", elapsed)
+	}
+}
+
+// TestRunMatchesRunContextBackground checks the default path is
+// unchanged: Run is RunContext under a background context, bit-identical
+// results included.
+func TestRunMatchesRunContextBackground(t *testing.T) {
+	a, err := Run(smallConfig(40_000), microMix(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), smallConfig(40_000), microMix(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.IPC != b.IPC || a.Mem.DemandMisses != b.Mem.DemandMisses {
+		t.Fatal("RunContext(Background) diverged from Run")
+	}
+}

@@ -48,6 +48,12 @@ var (
 	// ErrInternal marks a provable simulator bug caught at a recover()
 	// boundary — the typed form of "this should never happen".
 	ErrInternal = errors.New("internal simulator error")
+
+	// ErrCancelled marks a run stopped by its context: a deadline
+	// expired or the caller cancelled mid-simulation. The partial work
+	// is discarded; errors.Is also matches the context's own cause
+	// (context.DeadlineExceeded or context.Canceled) through the wrap.
+	ErrCancelled = errors.New("run cancelled")
 )
 
 // New builds an error wrapping the given sentinel:

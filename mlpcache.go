@@ -24,6 +24,7 @@
 package mlpcache
 
 import (
+	"context"
 	"io"
 
 	"mlpcache/internal/analytic"
@@ -80,6 +81,14 @@ func DefaultConfig() Config { return sim.DefaultConfig() }
 // ErrInternal) classifies them. See docs/ROBUSTNESS.md.
 func Run(cfg Config, src Source) (Result, error) { return sim.Run(cfg, src) }
 
+// RunContext is Run with cooperative cancellation: the run loop polls
+// ctx every ~65k simulated cycles and stops with a wrapped ErrCancelled
+// (also matching the context's cause under errors.Is). The mlpsim and
+// mlpexp -timeout flags and the mlpserve job deadlines ride on this.
+func RunContext(ctx context.Context, cfg Config, src Source) (Result, error) {
+	return sim.RunContext(ctx, cfg, src)
+}
+
 // MustRun is Run for known-good configurations: it panics on error.
 func MustRun(cfg Config, src Source) Result { return sim.MustRun(cfg, src) }
 
@@ -98,6 +107,9 @@ var (
 	ErrUnknownBenchmark = simerr.ErrUnknownBenchmark
 	// ErrInternal marks a simulator bug caught at the Run boundary.
 	ErrInternal = simerr.ErrInternal
+	// ErrCancelled marks a run stopped by its context (deadline or
+	// cancellation); returned by RunContext and the sweep service.
+	ErrCancelled = simerr.ErrCancelled
 )
 
 // Observability: the metrics registry a Result exports (Result.Metrics)

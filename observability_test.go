@@ -19,6 +19,7 @@ import (
 	"mlpcache/internal/metrics"
 	"mlpcache/internal/oracle"
 	"mlpcache/internal/prefetch"
+	"mlpcache/internal/service"
 	"mlpcache/internal/sim"
 	"mlpcache/internal/workload"
 )
@@ -132,6 +133,19 @@ func oracleRegistry(t testing.TB) *metrics.Registry {
 	return reg
 }
 
+// serviceRegistry returns the sweep-service daemon's service.* family —
+// what mlpserve's GET /metrics renders. Every service metric registers
+// on any snapshot (zero-valued counters included), so no jobs need run.
+func serviceRegistry(t testing.TB) *metrics.Registry {
+	t.Helper()
+	s, err := service.New(service.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	return s.MetricsSnapshot()
+}
+
 // TestMetricCatalogMatchesEmission asserts set equality between the
 // documented metric catalog and the union of names registered by the
 // two covering runs — every documented metric is emitted, and every
@@ -149,6 +163,10 @@ func TestMetricCatalogMatchesEmission(t *testing.T) {
 	// registered by mlpsim -oracle via oracle.Comparison.Observe; a
 	// captured run covers them.
 	for _, s := range oracleRegistry(t).Samples() {
+		emitted[s.Name] = s.Kind
+	}
+	// The sweep-service daemon's service.* family (mlpserve /metrics).
+	for _, s := range serviceRegistry(t).Samples() {
 		emitted[s.Name] = s.Kind
 	}
 

@@ -1,0 +1,110 @@
+// Acceptance tests for docs/ROBUSTNESS.md: the sentinel-error table and
+// the service fault-model section are parsed and checked against the
+// code, so the hardening contract cannot drift from what is exported.
+package mlpcache
+
+import (
+	"errors"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mlpcache/internal/service"
+)
+
+// sentinelRow matches one row of the §1 error-taxonomy table.
+var sentinelRow = regexp.MustCompile("^\\| `(Err[A-Za-z]+)` \\|")
+
+func readRobustnessDoc(t *testing.T) string {
+	t.Helper()
+	raw, err := os.ReadFile("docs/ROBUSTNESS.md")
+	if err != nil {
+		t.Fatalf("reading contract doc: %v", err)
+	}
+	return string(raw)
+}
+
+// TestSentinelTableMatchesExports asserts the documented sentinel table
+// is exactly the set of typed sentinels the root package re-exports,
+// and that each is a distinct errors.Is identity.
+func TestSentinelTableMatchesExports(t *testing.T) {
+	exported := map[string]error{
+		"ErrBadConfig":        ErrBadConfig,
+		"ErrCorruptTrace":     ErrCorruptTrace,
+		"ErrMSHRLeak":         ErrMSHRLeak,
+		"ErrInvariant":        ErrInvariant,
+		"ErrUnknownBenchmark": ErrUnknownBenchmark,
+		"ErrInternal":         ErrInternal,
+		"ErrCancelled":        ErrCancelled,
+	}
+
+	documented := map[string]bool{}
+	for _, line := range strings.Split(readRobustnessDoc(t), "\n") {
+		if m := sentinelRow.FindStringSubmatch(line); m != nil {
+			if documented[m[1]] {
+				t.Errorf("doc lists sentinel %q twice", m[1])
+			}
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no sentinel rows parsed — table format changed?")
+	}
+
+	for name := range exported {
+		if !documented[name] {
+			t.Errorf("exported sentinel %q missing from docs/ROBUSTNESS.md §1", name)
+		}
+	}
+	for name := range documented {
+		if _, ok := exported[name]; !ok {
+			t.Errorf("documented sentinel %q is not re-exported by the root package", name)
+		}
+	}
+	for name, err := range exported {
+		if err == nil {
+			t.Fatalf("sentinel %q is nil", name)
+		}
+		for other, o := range exported {
+			if name != other && errors.Is(err, o) {
+				t.Errorf("sentinels %q and %q are not distinct", name, other)
+			}
+		}
+	}
+}
+
+// TestServiceFaultModelDocumented pins the §6 service fault model: the
+// section exists and names every admission/retry sentinel the service
+// package exports, so a renamed or added service error must come with
+// its doc update.
+func TestServiceFaultModelDocumented(t *testing.T) {
+	doc := readRobustnessDoc(t)
+	idx := strings.Index(doc, "## 6. Service fault model")
+	if idx < 0 {
+		t.Fatal("docs/ROBUSTNESS.md lost its \"Service fault model\" section")
+	}
+	section := doc[idx:]
+	if end := strings.Index(section[1:], "\n## "); end >= 0 {
+		section = section[:end+1]
+	}
+
+	for name, err := range map[string]error{
+		"ErrQueueFull": service.ErrQueueFull,
+		"ErrClientCap": service.ErrClientCap,
+		"ErrDraining":  service.ErrDraining,
+		"ErrTransient": service.ErrTransient,
+	} {
+		if err == nil {
+			t.Fatalf("service sentinel %q is nil", name)
+		}
+		if !strings.Contains(section, "`"+name+"`") {
+			t.Errorf("service fault model section never mentions `%s`", name)
+		}
+	}
+	for _, phrase := range []string{"terminal outcome", "drain", "retry budget", "singleflight"} {
+		if !strings.Contains(strings.ToLower(section), phrase) {
+			t.Errorf("service fault model section lost the %q contract language", phrase)
+		}
+	}
+}

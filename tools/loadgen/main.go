@@ -1,0 +1,179 @@
+// Command loadgen drives the sweep service (cmd/mlpserve) with a
+// configurable burst of concurrent jobs and checks that every one of
+// them comes back with a terminal answer — the accounting contract the
+// daemon's chaos tests enforce, runnable against a live process.
+//
+// Two modes:
+//
+//   - -url points at a running daemon and fires jobs over HTTP;
+//   - without -url, loadgen starts an in-process server (with optional
+//     -chaos-* fault injection), runs the same load against its
+//     listener, then drains it and cross-checks the client-observed
+//     status counts against the server's own counters.
+//
+// The exit code is the verdict: 0 when every job is accounted for
+// (200/429/500/503/504 are all terminal answers; transport errors and
+// unexpected statuses are not), 1 otherwise. `make loadtest-smoke` runs
+// a short in-process burst as part of tier-1.
+//
+// Examples:
+//
+//	loadgen -jobs 200 -concurrency 32
+//	loadgen -jobs 500 -chaos-fail 150 -chaos-panic 20
+//	loadgen -url http://127.0.0.1:8321 -jobs 1000 -concurrency 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mlpcache/internal/service"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "", "target daemon base URL (empty: run an in-process server)")
+		jobs        = flag.Int("jobs", 200, "total jobs to submit")
+		concurrency = flag.Int("concurrency", 32, "concurrent submitters")
+		benches     = flag.String("benches", "micro.isolated,micro.parallel,micro.figure1,micro.pollution", "comma-separated benchmark rotation")
+		policies    = flag.String("policies", "lru,lin,sbar", "comma-separated policy rotation")
+		n           = flag.Uint64("n", 20_000, "instructions per job")
+		deadlineMS  = flag.Int("deadline-ms", 0, "per-job deadline in ms (0: server default)")
+		clients     = flag.Int("clients", 4, "distinct client identities to rotate through")
+		seeds       = flag.Int("seeds", 8, "distinct workload seeds to rotate through")
+		workers     = flag.Int("workers", 0, "in-process mode: simulation workers (0: GOMAXPROCS)")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "in-process mode: fault-injection seed")
+		chaosFail   = flag.Int("chaos-fail", 0, "in-process mode: transient-failure permille")
+		chaosPanic  = flag.Int("chaos-panic", 0, "in-process mode: worker-panic permille")
+		chaosJitter = flag.Uint64("chaos-dram-jitter", 0, "in-process mode: max injected DRAM latency cycles")
+	)
+	flag.Parse()
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	base := *url
+	var srv *service.Server
+	if base == "" {
+		s, err := service.New(service.Config{
+			Workers: *workers,
+			Chaos: service.Chaos{
+				Seed:          *chaosSeed,
+				FailPermille:  *chaosFail,
+				PanicPermille: *chaosPanic,
+				DRAMJitterMax: *chaosJitter,
+			},
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal("%v", err)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(l)
+		defer hs.Close()
+		srv = s
+		base = "http://" + l.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadgen: in-process daemon on %s\n", base)
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	benchList := strings.Split(*benches, ",")
+	policyList := strings.Split(*policies, ",")
+
+	httpc := &http.Client{Timeout: 5 * time.Minute}
+	type result struct {
+		status int
+		err    error
+	}
+	results := make([]result, *jobs)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				body := fmt.Sprintf(
+					`{"bench":%q,"policy":%q,"instructions":%d,"seed":%d,"deadline_ms":%d,"client":"load-%d"}`,
+					benchList[i%len(benchList)], policyList[i%len(policyList)],
+					*n, i%*seeds+1, *deadlineMS, i%*clients)
+				resp, err := httpc.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+				if err != nil {
+					results[i] = result{err: err}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				results[i] = result{status: resp.StatusCode}
+			}
+		}()
+	}
+	for i := 0; i < *jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	counts := map[int]int{}
+	lost := 0
+	for i, r := range results {
+		if r.err != nil {
+			lost++
+			if lost <= 3 {
+				fmt.Fprintf(os.Stderr, "loadgen: job %d transport error: %v\n", i, r.err)
+			}
+			continue
+		}
+		counts[r.status]++
+	}
+	var codes []int
+	for code := range counts {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	accounted := 0
+	bad := 0
+	for _, code := range codes {
+		terminal := code == 200 || code == 400 || code == 429 ||
+			code == 500 || code == 503 || code == 504
+		mark := ""
+		if !terminal {
+			mark = "  <- unexpected"
+			bad += counts[code]
+		} else {
+			accounted += counts[code]
+		}
+		fmt.Printf("  %d: %d%s\n", code, counts[code], mark)
+	}
+	fmt.Printf("loadgen: %d jobs in %.2fs (%.1f jobs/s): %d accounted, %d unexpected, %d lost\n",
+		*jobs, elapsed.Seconds(), float64(*jobs)/elapsed.Seconds(), accounted, bad, lost)
+
+	if srv != nil {
+		srv.Drain(time.Minute)
+		c := srv.Snapshot()
+		fmt.Printf("loadgen: server counters: admitted %d = completed %d + failed %d + cancelled %d; rejected %d queue / %d client; retried %d; panics %d\n",
+			c.Admitted, c.Completed, c.Failed, c.Cancelled,
+			c.RejectedQueue, c.RejectedClient, c.Retried, c.Panics)
+		if c.Admitted != c.Completed+c.Failed+c.Cancelled {
+			fatal("server lost a job: admitted %d != %d terminal outcomes",
+				c.Admitted, c.Completed+c.Failed+c.Cancelled)
+		}
+	}
+	if lost > 0 || bad > 0 || accounted != *jobs {
+		fatal("accounting failed: %d of %d jobs unaccounted", *jobs-accounted, *jobs)
+	}
+}
