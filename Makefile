@@ -38,25 +38,25 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# bench-smoke runs the observability, tracing and oracle benchmarks once
-# each and fails if any stops being selected — a renamed or deleted
-# benchmark silently vanishes from `go test -bench`, so the output is
-# grepped for each name.
+# bench-smoke runs the observability, tracing, oracle and multi-core
+# benchmarks once each and fails if any stops being selected — a renamed
+# or deleted benchmark silently vanishes from `go test -bench`, so the
+# output is grepped for each name.
 bench-smoke:
-	@out="$$($(GO) test -bench 'BenchmarkObservability|BenchmarkTracingV2|BenchmarkOracleHeadroom' -benchtime 1x -run '^$$' .)"; \
+	@out="$$($(GO) test -bench 'BenchmarkObservability|BenchmarkTracingV2|BenchmarkOracleHeadroom|BenchmarkMulticoreThroughput' -benchtime 1x -run '^$$' .)"; \
 	echo "$$out"; \
-	for name in BenchmarkObservability BenchmarkTracingV2 BenchmarkOracleHeadroom; do \
+	for name in BenchmarkObservability BenchmarkTracingV2 BenchmarkOracleHeadroom BenchmarkMulticoreThroughput; do \
 		echo "$$out" | grep -q "$$name" || { echo "bench-smoke: $$name missing from benchmark output" >&2; exit 1; }; \
 	done
 
-# bench-record snapshots the perf-trajectory suite into BENCH_PR7.json
+# bench-record snapshots the perf-trajectory suite into BENCH_PR8.json
 # (instr/s, ns/op, allocs/op per benchmark; best of four passes). The
 # snapshot is committed so bench-compare has a fixed reference; any
 # pre_pr5_baseline / prior_baselines sections already in the file are
-# preserved, and the PR6 snapshot is folded in as a prior baseline so
+# preserved, and the PR7 snapshot is folded in as a prior baseline so
 # the cross-PR trajectory stays in one document.
 bench-record:
-	$(GO) run ./tools/benchjson -record -out BENCH_PR7.json -prior pr6=BENCH_PR6.json -count 4
+	$(GO) run ./tools/benchjson -record -out BENCH_PR8.json -prior pr7=BENCH_PR7.json -count 4
 
 # bench-compare re-runs the suite and fails on a >10% instr/s drop
 # relative to the suite-wide median ratio (host steal on a virtualized
@@ -68,7 +68,7 @@ bench-record:
 # both sides, so each benchmark's samples are spread across the run's
 # wall time.
 bench-compare:
-	$(GO) run ./tools/benchjson -compare -baseline BENCH_PR7.json -count 4
+	$(GO) run ./tools/benchjson -compare -baseline BENCH_PR8.json -count 4
 
 # loadtest-smoke fires a short chaos burst at an in-process sweep
 # service (tools/loadgen): every job must come back with a terminal

@@ -322,6 +322,29 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(benchInstructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }
 
+// BenchmarkMulticoreThroughput drives the contended two-core engine —
+// mcf and art sharing the L2, each retiring the full per-core budget —
+// and reports aggregate instructions simulated per wall-clock second.
+// Compare against BenchmarkSimulatorThroughput to price the sharer
+// bookkeeping (per-core MSHR files, the sharer bitmask, the shared
+// fill heap); bench-compare gates it like every other instr/s figure.
+func BenchmarkMulticoreThroughput(b *testing.B) {
+	mcf, _ := workload.ByName("mcf")
+	art, _ := workload.ByName("art")
+	var total uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.MaxInstructions = benchInstructions
+		res, err := sim.RunMulti(cfg, mcf.Build(42), art.Build(43))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Instructions()
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "instr/s")
+}
+
 // BenchmarkObservability quantifies the cost of the observability
 // layer (docs/OBSERVABILITY.md's "disabled observability is free"
 // contract): "off" is the plain simulation, "traced" streams every

@@ -372,6 +372,7 @@ func TestExperimentsCommandsRun(t *testing.T) {
 	runDocCommands(t, dir, "Reproducing with metrics export", 5)
 	runDocCommands(t, dir, "Measuring oracle headroom", 4)
 	runDocCommands(t, dir, "Binary event capture and decode", 5)
+	runDocCommands(t, dir, "Multi-core contention", 6)
 }
 
 // TestCLIOracle drives mlpsim -oracle end to end: the text report must

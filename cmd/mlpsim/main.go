@@ -1,6 +1,9 @@
 // Command mlpsim runs one benchmark model on the simulated baseline
 // machine under a chosen L2 replacement policy and prints the full
-// statistics the paper's experiments are built from.
+// statistics the paper's experiments are built from. With -cores N it
+// runs N cores — each with its own L1, MSHR file and workload from the
+// comma-separated -bench mix — sharing the contended L2, and reports
+// per-core plus aggregate statistics (see docs/MULTICORE.md).
 //
 // Reports go to stdout; telemetry goes to files: -json swaps the text
 // report for a machine-readable one (schema "mlpcache.run/v1"), -metrics
@@ -18,6 +21,7 @@
 //	mlpsim -bench ammp -policy sbar -leaders 32 -n 4000000 -series
 //	mlpsim -bench mcf -json -metrics out.jsonl -trace-events ev.jsonl
 //	mlpsim -bench mcf -trace-events ev.bin -trace-events-format v2 -snapshot-interval 250000
+//	mlpsim -bench mcf,art -cores 2 -policy sbar -n 2000000
 //	mlpsim -bench mcf -policy lru -oracle
 //	mlpsim -bench mcf -n 100000000 -timeout 30s
 //	mlpsim -list
@@ -43,7 +47,8 @@ import (
 
 func main() {
 	var (
-		bench       = flag.String("bench", "mcf", "benchmark model to run (see -list)")
+		bench       = flag.String("bench", "mcf", "benchmark model to run (see -list); with -cores N, a comma-separated mix (last entry repeats)")
+		cores       = flag.Int("cores", 1, "cores sharing the contended L2 (multi-core mode when >1; core i seeds its model with seed+i)")
 		policy      = flag.String("policy", "lru", "replacement policy: lru|fifo|random|nmru|lin|sbar|cbs-local|cbs-global")
 		lambda      = flag.Int("lambda", 4, "LIN λ (also used inside SBAR/CBS)")
 		leaders     = flag.Int("leaders", 32, "SBAR leader sets")
@@ -95,9 +100,42 @@ func main() {
 		os.Exit(code)
 	}
 
-	var src trace.Source
+	var (
+		src  trace.Source
+		srcs []trace.Source // multi-core mode: one source per core
+	)
 	benchLabel := *bench
-	if *traceFile != "" {
+	if *cores > 1 {
+		switch {
+		case *cores > sim.MaxCores:
+			fatal(2, "-cores must be at most %d", sim.MaxCores)
+		case *traceFile != "":
+			fatal(2, "-cores does not support -trace replay")
+		case *oracleFlag:
+			fatal(2, "-cores does not support -oracle")
+		case *series:
+			fatal(2, "-cores does not support -series")
+		case *pf:
+			fatal(2, "-cores does not support -prefetch")
+		case *snapEvery > 0:
+			fatal(2, "-cores does not support -snapshot-interval")
+		}
+		names := strings.Split(*bench, ",")
+		var labels []string
+		for i := 0; i < *cores; i++ {
+			name := names[len(names)-1]
+			if i < len(names) {
+				name = names[i]
+			}
+			spec, ok := workload.ByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(2, "unknown benchmark %q (try -list)", name)
+			}
+			srcs = append(srcs, spec.Build(*seed+uint64(i)))
+			labels = append(labels, spec.Name)
+		}
+		benchLabel = strings.Join(labels, "+")
+	} else if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			fatal(1, "%v", err)
@@ -185,6 +223,50 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *cores > 1 {
+		mres, err := sim.RunMultiContext(ctx, cfg, srcs...)
+		if err != nil {
+			fatal(1, "%v", err)
+		}
+		reg := mres.Metrics()
+		if tracer != nil {
+			if err := tracer.Flush(); err != nil {
+				fatal(1, "trace-events: %v", err)
+			}
+			if err := eventsFile.Close(); err != nil {
+				fatal(1, "trace-events: %v", err)
+			}
+		}
+		if *metricsPath != "" {
+			f, err := os.Create(*metricsPath)
+			if err != nil {
+				fatal(1, "%v", err)
+			}
+			if err := reg.WriteJSONL(f, mres.Header(benchLabel, *seed)); err != nil {
+				f.Close()
+				fatal(1, "metrics: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(1, "metrics: %v", err)
+			}
+		}
+		if *jsonOut {
+			report := reg.BuildReport(mres.Header(benchLabel, *seed))
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(report); err != nil {
+				fatal(1, "json: %v", err)
+			}
+		} else {
+			printMultiReport(mres, benchLabel, *hist)
+		}
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "mlpsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	res, err := sim.RunContext(ctx, cfg, src)
 	if err != nil {
 		fatal(1, "%v", err)
@@ -256,6 +338,50 @@ func printOracle(cmp oracle.Comparison) {
 	}
 	fmt.Printf("  headroom: %.1f%% of misses (vs belady), %.1f%% of cost (vs cost-belady)\n",
 		cmp.MissHeadroomPct(), cmp.CostHeadroomPct())
+}
+
+// printMultiReport renders the human-readable multi-core run report:
+// chip-wide aggregates over the shared clock, then one line per core.
+func printMultiReport(res sim.MultiResult, benchLabel string, hist bool) {
+	fmt.Printf("benchmark   %s\n", benchLabel)
+	fmt.Printf("policy      %s   cores %d\n", res.Policy, len(res.Cores))
+	fmt.Printf("instructions %d   cycles %d   aggregate IPC %.4f\n",
+		res.Instructions(), res.Cycles, res.IPC())
+	fmt.Printf("L2: %d hits / %d misses (%.2f%% miss); %d serviced, %d merged (%d cross-core)\n",
+		res.L2.Hits, res.L2.Misses, 100*res.L2.MissRate(),
+		res.Mem.DemandMisses, res.Mem.MergedMisses, res.CrossCoreMerges)
+	fmt.Printf("MPKI %.3f   avg mlp-cost %.1f cycles   avg cost_q %.2f\n",
+		res.MPKI(), res.AvgMLPCost(), res.AvgCostQ())
+	fmt.Printf("DRAM: %d reads, %d writes; bank wait %d, bus wait %d cycles\n",
+		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.BankWaitCycles, res.DRAM.BusWaitCycles)
+	fmt.Printf("%-6s %12s %8s %10s %10s %8s %10s %10s\n",
+		"core", "instr", "IPC", "misses", "merged", "MPKI", "mlp-cost", "stalls")
+	for i, c := range res.Cores {
+		fmt.Printf("%-6d %12d %8.4f %10d %10d %8.3f %10.1f %10d\n",
+			i, c.Instructions, c.IPC, c.Mem.DemandMisses, c.Mem.MergedMisses,
+			c.MPKI(), c.AvgMLPCost(), c.CPU.MemStallCycles)
+	}
+	if res.Hybrid != nil {
+		fmt.Printf("hybrid: PSEL +%d/-%d updates, victims %d LIN / %d LRU\n",
+			res.Hybrid.PselIncrements, res.Hybrid.PselDecrements,
+			res.Hybrid.LinVictims, res.Hybrid.LruVictims)
+		for i, v := range res.PselValues {
+			fmt.Printf("  thread %d selector %d\n", i, v)
+		}
+	}
+	if hist {
+		fmt.Printf("mlp-cost distribution (%% of misses):\n")
+		pct := res.CostHist.Percent()
+		var labels, vals []string
+		for i, p := range pct {
+			labels = append(labels, fmt.Sprintf("%8s", res.CostHist.BinLabel(i)))
+			vals = append(vals, fmt.Sprintf("%7.1f%%", p))
+		}
+		fmt.Printf("  %s\n  %s\n", strings.Join(labels, " "), strings.Join(vals, " "))
+	}
+	if res.Audit != nil {
+		fmt.Printf("audit: %d passes, %d violations\n", res.Audit.Checks, len(res.Audit.Violations))
+	}
 }
 
 // printReport renders the human-readable run report to stdout.

@@ -28,6 +28,13 @@ type SBARConfig struct {
 	// LIN(Lambda) and LRU.
 	Experimental cache.Policy
 	Baseline     cache.Policy
+	// Threads partitions the selector per thread for multi-core runs
+	// sharing one L2: each thread gets its own PSEL counter, leader-set
+	// contests credit the accessing thread's counter, and follower
+	// victim decisions consult the accessing thread's counter (set via
+	// SetThread). 0 or 1 keeps the paper's single Section 6 counter —
+	// the single-core behavior is structurally unchanged.
+	Threads int
 }
 
 func (c *SBARConfig) setDefaults(sets int) {
@@ -43,6 +50,9 @@ func (c *SBARConfig) setDefaults(sets int) {
 	if c.Selector == nil {
 		c.Selector = NewSimpleStatic(sets, c.LeaderSets)
 	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
 }
 
 // SBAR implements Sampling Based Adaptive Replacement (Section 6.4).
@@ -54,9 +64,15 @@ func (c *SBARConfig) setDefaults(sets int) {
 // decrements PSEL by the miss's quantized cost, and a leader-set hit the
 // ATD would have missed increments it. Follower sets obey PSEL's MSB.
 type SBAR struct {
-	mtd     *cache.Cache
-	atd     *cache.Cache
-	psel    *PSEL
+	mtd *cache.Cache
+	atd *cache.Cache
+	// psels holds one selector counter per thread (Section 6 uses one;
+	// multi-core runs partition it per thread so set dueling converges
+	// per workload under interference). cur is the thread whose counter
+	// governs follower decisions and receives contest updates — always 0
+	// in single-threaded runs.
+	psels   []*PSEL
+	cur     int
 	sel     LeaderSelector
 	lin     cache.Policy
 	lru     cache.Policy
@@ -81,6 +97,7 @@ func (s *SBAR) SetTracer(tr metrics.Tracer) {
 type sbarPending struct {
 	decrement bool // ATD-LRU hit while the leader (LIN) set missed
 	fillATD   bool // both missed: fill the ATD when the cost is known
+	tid       int  // thread whose PSEL the outcome settles against
 }
 
 // NewSBAR builds the SBAR engine shadowing mtd and installs itself as
@@ -97,9 +114,16 @@ func NewSBAR(mtd *cache.Cache, cfg SBARConfig) *SBAR {
 	if cfg.Baseline == nil {
 		cfg.Baseline = cache.NewLRU()
 	}
+	if cfg.Threads < 1 {
+		panic(simerr.New(simerr.ErrBadConfig, "core: SBAR needs at least 1 thread, got %d", cfg.Threads))
+	}
+	psels := make([]*PSEL, cfg.Threads)
+	for i := range psels {
+		psels[i] = NewPSEL(cfg.PselBits)
+	}
 	s := &SBAR{
 		mtd:     mtd,
-		psel:    NewPSEL(cfg.PselBits),
+		psels:   psels,
 		sel:     cfg.Selector,
 		lin:     cfg.Experimental,
 		lru:     cfg.Baseline,
@@ -145,7 +169,7 @@ func (s *SBAR) Victim(set cache.SetView) int {
 		s.stats.LinVictims++
 		return s.lin.Victim(set)
 	}
-	if s.psel.MSB() {
+	if s.psels[s.cur].MSB() {
 		s.stats.LinVictims++
 		return s.lin.Victim(set)
 	}
@@ -153,10 +177,21 @@ func (s *SBAR) Victim(set cache.SetView) int {
 	return s.lru.Victim(set)
 }
 
+// SetThread selects the thread whose PSEL counter governs subsequent
+// follower decisions and receives subsequent leader-contest updates. The
+// multi-core engine calls it before every L2 operation it routes on a
+// core's behalf; single-core runs never call it and stay on counter 0.
+func (s *SBAR) SetThread(tid int) {
+	if tid < 0 || tid >= len(s.psels) {
+		panic(simerr.New(simerr.ErrInternal, "core: SBAR thread %d outside [0,%d)", tid, len(s.psels)))
+	}
+	s.cur = tid
+}
+
 // active returns the policy currently governing a set: leaders always
 // run the experimental policy, followers whatever PSEL selects.
 func (s *SBAR) active(set int) cache.Policy {
-	if _, leader := s.sel.Slot(set); leader || s.psel.MSB() {
+	if _, leader := s.sel.Slot(set); leader || s.psels[s.cur].MSB() {
 		return s.lin
 	}
 	return s.lru
@@ -190,9 +225,9 @@ func (s *SBAR) OnAccess(addr uint64, write, mtdHit, primaryMiss bool) {
 		// the MTD tag entry (footnote 6): the access is not
 		// serviced by memory, so no fresh cost exists.
 		cost, _ := s.mtd.CostOf(addr)
-		s.psel.Add(int(cost))
+		s.psels[s.cur].Add(int(cost))
 		s.stats.PselIncrements++
-		s.pselEvent(int(cost))
+		s.pselEvent(int(cost), s.cur)
 		s.leaderEvent(set, "mtd_hit")
 		s.atd.Fill(addr, cost, false)
 	case !mtdHit && atdHit:
@@ -200,7 +235,7 @@ func (s *SBAR) OnAccess(addr uint64, write, mtdHit, primaryMiss bool) {
 		// MLP-based cost of the miss, known when it is serviced.
 		s.leaderEvent(set, "atd_hit")
 		if primaryMiss {
-			s.pending[block] = sbarPending{decrement: true}
+			s.pending[block] = sbarPending{decrement: true, tid: s.cur}
 		}
 	default:
 		// Both miss: PSEL unchanged; the ATD still needs the block
@@ -208,7 +243,7 @@ func (s *SBAR) OnAccess(addr uint64, write, mtdHit, primaryMiss bool) {
 		s.stats.TieBothMiss++
 		s.leaderEvent(set, "both_miss")
 		if primaryMiss {
-			s.pending[block] = sbarPending{fillATD: true}
+			s.pending[block] = sbarPending{fillATD: true, tid: s.cur}
 		}
 	}
 }
@@ -220,11 +255,11 @@ func (s *SBAR) leaderEvent(set int, outcome string) {
 	s.tr.Emit(metrics.Event{Type: metrics.EventSBARLeader, Set: set, Outcome: outcome})
 }
 
-func (s *SBAR) pselEvent(delta int) {
+func (s *SBAR) pselEvent(delta, tid int) {
 	if s.tr == nil {
 		return
 	}
-	s.tr.Emit(metrics.Event{Type: metrics.EventPselUpdate, Delta: delta, Value: s.psel.Value()})
+	s.tr.Emit(metrics.Event{Type: metrics.EventPselUpdate, Delta: delta, Value: s.psels[tid].Value(), Tid: tid})
 }
 
 // OnFill implements Hybrid.
@@ -236,9 +271,9 @@ func (s *SBAR) OnFill(addr uint64, costQ uint8) {
 	}
 	delete(s.pending, block)
 	if p.decrement {
-		s.psel.Add(-int(costQ))
+		s.psels[p.tid].Add(-int(costQ))
 		s.stats.PselDecrements++
-		s.pselEvent(-int(costQ))
+		s.pselEvent(-int(costQ), p.tid)
 	}
 	if p.fillATD {
 		s.atd.Fill(addr, costQ, false)
@@ -261,11 +296,18 @@ func (s *SBAR) UsingLIN(set int) bool {
 	if _, leader := s.sel.Slot(set); leader {
 		return true
 	}
-	return s.psel.MSB()
+	return s.psels[s.cur].MSB()
 }
 
-// Psel exposes the selector counter for tests and telemetry.
-func (s *SBAR) Psel() *PSEL { return s.psel }
+// Psel exposes the selector counter for tests and telemetry (thread 0's
+// counter, the only one in single-threaded runs).
+func (s *SBAR) Psel() *PSEL { return s.psels[0] }
+
+// PselFor exposes one thread's selector counter (multi-core telemetry).
+func (s *SBAR) PselFor(tid int) *PSEL { return s.psels[tid] }
+
+// Threads returns the number of per-thread selector counters.
+func (s *SBAR) Threads() int { return len(s.psels) }
 
 // Stats returns the selection counters.
 func (s *SBAR) Stats() HybridStats { return s.stats }
@@ -280,8 +322,10 @@ func (s *SBAR) ATD() *cache.Cache { return s.atd }
 // contest outcomes concern leader sets only. It never mutates state.
 func (s *SBAR) AuditInvariants() []string {
 	var out []string
-	if v, max := s.psel.Value(), s.psel.Max(); v < 0 || v > max {
-		out = append(out, fmt.Sprintf("psel value %d outside [0,%d]", v, max))
+	for tid, p := range s.psels {
+		if v, max := p.Value(), p.Max(); v < 0 || v > max {
+			out = append(out, fmt.Sprintf("thread %d psel value %d outside [0,%d]", tid, v, max))
+		}
 	}
 	sets := uint64(s.mtd.Config().Sets)
 	acfg := s.atd.Config()
@@ -301,9 +345,12 @@ func (s *SBAR) AuditInvariants() []string {
 			}
 		}
 	}
-	for block := range s.pending {
+	for block, p := range s.pending {
 		if _, leader := s.sel.Slot(int(block % sets)); !leader {
 			out = append(out, fmt.Sprintf("pending contest for non-leader block %#x", block))
+		}
+		if p.tid < 0 || p.tid >= len(s.psels) {
+			out = append(out, fmt.Sprintf("pending contest for block %#x names thread %d outside [0,%d)", block, p.tid, len(s.psels)))
 		}
 	}
 	return out

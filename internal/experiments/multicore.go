@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mlpcache/internal/sim"
+	"mlpcache/internal/simerr"
+	"mlpcache/internal/trace"
+	"mlpcache/internal/workload"
+)
+
+// MulticoreMixes is the heterogeneous workload pairings the contention
+// experiment runs: a cache-hostile stream against a cache-friendly one
+// (mcf+mgrid), two miss-heavy competitors (mcf+art), and a mixed pairing
+// (art+parser). Each mix shares the contended L2 between two cores.
+var MulticoreMixes = [][]string{
+	{"mcf", "art"},
+	{"mcf", "mgrid"},
+	{"art", "parser"},
+}
+
+// MulticoreRow is one (mix, policy) cell: per-core miss/cost slices plus
+// the chip-wide aggregates.
+type MulticoreRow struct {
+	Mix    string
+	Policy string
+	// CoreMisses, CoreMPKI and CoreCost are per-core in mix order:
+	// demand misses issued, misses per thousand own instructions, and
+	// mean mlp-cost of the core's own misses.
+	CoreMisses []uint64
+	CoreMPKI   []float64
+	CoreCost   []float64
+	// Aggregates over the shared clock.
+	AggMisses   uint64
+	AggCost     float64
+	AggIPC      float64
+	CrossMerges uint64
+}
+
+// MulticoreResult tables the multi-core contention comparison.
+type MulticoreResult struct {
+	Rows []MulticoreRow
+}
+
+// multicorePolicies is the comparison set: the LRU baseline, fixed LIN,
+// and SBAR with its per-thread partitioned selector.
+var multicorePolicies = []sim.PolicySpec{
+	{Kind: sim.PolicyLRU},
+	{Kind: sim.PolicyLIN, Lambda: 4},
+	{Kind: sim.PolicySBAR},
+}
+
+// MulticoreContention runs every mix under LRU, LIN and SBAR on two
+// cores sharing the contended L2 and tables per-core plus aggregate
+// misses and mlp-cost. Multi-core runs bypass the runner's memo table
+// (the single-core Result cache cannot hold them) but honour its
+// instruction budget, seed and cancellation context; core i seeds its
+// workload with Seed+i, matching mlpsim -cores.
+func MulticoreContention(r *Runner) MulticoreResult {
+	var out MulticoreResult
+	for _, mix := range MulticoreMixes {
+		for _, spec := range multicorePolicies {
+			res := r.runMulti(mix, spec)
+			row := MulticoreRow{
+				Mix:         strings.Join(mix, "+"),
+				Policy:      spec.String(),
+				AggMisses:   res.Mem.DemandMisses,
+				AggCost:     res.AvgMLPCost(),
+				AggIPC:      res.IPC(),
+				CrossMerges: res.CrossCoreMerges,
+			}
+			for _, c := range res.Cores {
+				row.CoreMisses = append(row.CoreMisses, c.Mem.DemandMisses)
+				row.CoreMPKI = append(row.CoreMPKI, c.MPKI())
+				row.CoreCost = append(row.CoreCost, c.AvgMLPCost())
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// runMulti executes one multi-core simulation on the runner's budget,
+// routing failures through the runner's cancellation machinery.
+func (r *Runner) runMulti(mix []string, spec sim.PolicySpec) sim.MultiResult {
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = r.Instructions
+	cfg.Policy = spec
+	srcs := buildMix(r, mix)
+	res, err := sim.RunMultiContext(r.context(), cfg, srcs...)
+	if err != nil {
+		r.fail(err)
+	}
+	return res
+}
+
+// buildMix materializes one source per core; the mixes are compiled in,
+// so an unknown name is a bug, not an input error.
+func buildMix(r *Runner, mix []string) []trace.Source {
+	srcs := make([]trace.Source, 0, len(mix))
+	for i, b := range mix {
+		w, ok := workload.ByName(b)
+		if !ok {
+			panic(simerr.New(simerr.ErrUnknownBenchmark, "experiments: unknown benchmark %q in mix", b))
+		}
+		srcs = append(srcs, w.Build(r.Seed+uint64(i)))
+	}
+	return srcs
+}
+
+// table builds the paper-style contention table.
+func (f MulticoreResult) table() *table {
+	t := newTable("Multi-core contention: 2 cores sharing the L2 — per-core and aggregate misses / mlp-cost",
+		"mix", "policy", "core0 misses (cost)", "core1 misses (cost)", "aggregate")
+	for _, row := range f.Rows {
+		var cores []string
+		for i := range row.CoreMisses {
+			cores = append(cores, fmt.Sprintf("%d (%.1fc, MPKI %.1f)",
+				row.CoreMisses[i], row.CoreCost[i], row.CoreMPKI[i]))
+		}
+		t.rowf("%s\t%s\t%s\t%d misses, %.1fc, IPC %.4f",
+			row.Mix, row.Policy, strings.Join(cores, "\t"),
+			row.AggMisses, row.AggCost, row.AggIPC)
+	}
+	t.note("per-core mlp-cost comes from each core's own MSHR clock (Algorithm 1 per thread); SBAR duels with one PSEL per thread")
+	t.note("cross-core merges (misses joining another core's in-flight fetch) are counted once per joining access")
+	return t
+}

@@ -24,10 +24,11 @@ func AllIDs() []string {
 }
 
 // SensitivityIDs returns the extension sweeps (the material of the
-// paper's truncated Section 7), runnable via mlpexp but not part of
-// "all" since each costs ~18 simulations.
+// paper's truncated Section 7) plus the multi-core contention study,
+// runnable via mlpexp but not part of "all" since each costs many
+// simulations.
 func SensitivityIDs() []string {
-	return []string{"sens-mem", "sens-cache", "sens-mshr", "sens-window", "stab", "cbs"}
+	return []string{"sens-mem", "sens-cache", "sens-mshr", "sens-window", "stab", "cbs", "multicore-contention"}
 }
 
 // RunByID executes one experiment and renders it to w. A runner whose
@@ -106,6 +107,8 @@ func resolve(r *Runner, id string) (res renderable, err error) {
 		res = Stability(r)
 	case "cbs":
 		res = CBSComparison(r)
+	case "multicore-contention":
+		res = MulticoreContention(r)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (known: %v plus %v)", id, AllIDs(), SensitivityIDs())
 	}

@@ -55,3 +55,6 @@ func (f CBSComparisonResult) Render(w io.Writer) { f.table().Render(w) }
 
 // Render writes the paper-style text table.
 func (f OracleHeadroomResult) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f MulticoreResult) Render(w io.Writer) { f.table().Render(w) }

@@ -65,8 +65,9 @@ const (
 	fOutcome
 	fLabel
 	fGauge
+	fTid
 
-	fKnown = 1<<15 - 1 // all defined bits; anything above is corrupt
+	fKnown = 1<<16 - 1 // all defined bits; anything above is corrupt
 )
 
 // Decoder hardening bounds: the header is a one-line JSON object and
@@ -185,6 +186,9 @@ func (t *BinaryTracer) Emit(ev Event) {
 	if ev.Gauge != 0 {
 		mask |= fGauge
 	}
+	if ev.Tid != 0 {
+		mask |= fTid
+	}
 
 	buf := append(t.buf[:0], id)
 	buf = binary.AppendUvarint(buf, mask)
@@ -235,6 +239,9 @@ func (t *BinaryTracer) Emit(ev Event) {
 	}
 	if mask&fGauge != 0 {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ev.Gauge))
+	}
+	if mask&fTid != 0 {
+		buf = binary.AppendVarint(buf, int64(ev.Tid))
 	}
 	t.buf = buf
 
@@ -504,6 +511,13 @@ func (er *EventsReader) Next() (Event, bool) {
 			return Event{}, false
 		}
 		ev.Gauge = v
+	}
+	if mask&fTid != 0 {
+		v, ok := varint("tid")
+		if !ok {
+			return Event{}, false
+		}
+		ev.Tid = int(v)
 	}
 	return ev, true
 }

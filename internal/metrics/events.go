@@ -130,6 +130,11 @@ type Event struct {
 	Outcome string    `json:"outcome,omitempty"`
 	Label   string    `json:"label,omitempty"`
 	Gauge   float64   `json:"gauge,omitempty"`
+	// Tid is the issuing core's index in a multi-core run. Appended for
+	// multi-core tracing under the append-only field contract: it takes
+	// the next v2 presence-mask bit and is omitted when zero, so
+	// single-core captures are byte-identical to pre-Tid ones.
+	Tid int `json:"tid,omitempty"`
 }
 
 // Tracer receives simulator events. A nil Tracer disables tracing; every

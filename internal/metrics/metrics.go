@@ -44,8 +44,11 @@ const (
 const MetricsSchema = "mlpcache.metrics/v1"
 
 // nameRE is the grammar of metric names: lowercase dotted components of
-// letters, digits and underscores, each starting with a letter.
-var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+// letters, digits and underscores. The leading component starts with a
+// letter; later components may be purely numeric, which indexed families
+// like the multi-core core.<i>.* group use. Loosening the grammar is
+// append-only: every previously valid name stays valid.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9][a-z0-9_]*)*$`)
 
 // Counter is a monotonically increasing integer metric.
 type Counter struct{ v uint64 }

@@ -305,8 +305,11 @@ func DefaultConfig() Config {
 
 // buildL2 constructs the L2 cache with the configured replacement policy,
 // returning the hybrid engine when one is in use. An unknown policy kind
-// yields a wrapped simerr.ErrBadConfig.
-func buildL2(cfg Config) (*cache.Cache, core.Hybrid, error) {
+// yields a wrapped simerr.ErrBadConfig. threads is the number of cores
+// sharing the cache: SBAR partitions its selector counter per thread
+// (Section 6's set dueling, one PSEL per core); 1 is the single-core
+// machine and every other policy ignores it.
+func buildL2(cfg Config, threads int) (*cache.Cache, core.Hybrid, error) {
 	l2 := cache.New(cfg.L2, nil)
 	spec := cfg.Policy
 	switch spec.Kind {
@@ -342,6 +345,7 @@ func buildL2(cfg Config) (*cache.Cache, core.Hybrid, error) {
 			PselBits:   spec.PselBits,
 			Lambda:     spec.lambda(),
 			Selector:   sel,
+			Threads:    threads,
 		}), nil
 	case PolicyCBSLocal:
 		return l2, core.NewCBS(l2, core.CBSConfig{

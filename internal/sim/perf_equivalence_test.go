@@ -25,7 +25,7 @@ func TestRanksAgreeWithReferenceAcrossPolicies(t *testing.T) {
 			// A small cache maximizes set pressure and eviction churn.
 			cfg.L2 = cache.Config{Sets: 16, Assoc: 8, BlockBytes: 64}
 			cfg.Policy = PolicySpec{Kind: kind, Seed: 11, LeaderSets: 4}
-			l2, hybrid, err := buildL2(cfg)
+			l2, hybrid, err := buildL2(cfg, 1)
 			if err != nil {
 				t.Fatalf("buildL2(%s): %v", kind, err)
 			}

@@ -199,7 +199,7 @@ func RunContext(ctx context.Context, cfg Config, src trace.Source) (res Result, 
 		}
 	}
 
-	l2, hybrid, err := buildL2(cfg)
+	l2, hybrid, err := buildL2(cfg, 1)
 	if err != nil {
 		return Result{}, err
 	}

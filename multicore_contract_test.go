@@ -1,0 +1,275 @@
+// Acceptance tests for docs/MULTICORE.md: the workload-mix,
+// comparison-policy and rejected-feature tables in that document are
+// parsed and checked against the code in both directions, and the
+// contention experiment's output must satisfy the subsystem's defining
+// invariants — so the multi-core contract cannot drift from what the
+// simulator does.
+package mlpcache
+
+import (
+	"errors"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mlpcache/internal/experiments"
+	"mlpcache/internal/faultinject"
+	"mlpcache/internal/oracle"
+	"mlpcache/internal/prefetch"
+	"mlpcache/internal/sim"
+	"mlpcache/internal/workload"
+)
+
+func readMulticoreDoc(t *testing.T) string {
+	t.Helper()
+	raw, err := os.ReadFile("docs/MULTICORE.md")
+	if err != nil {
+		t.Fatalf("reading contract doc: %v", err)
+	}
+	return string(raw)
+}
+
+// multicoreSection slices one "## " section out of docs/MULTICORE.md.
+func multicoreSection(t *testing.T, heading string) string {
+	t.Helper()
+	doc := readMulticoreDoc(t)
+	idx := strings.Index(doc, "## "+heading)
+	if idx < 0 {
+		t.Fatalf("docs/MULTICORE.md lost its %q section", heading)
+	}
+	section := doc[idx:]
+	if end := strings.Index(section[1:], "\n## "); end >= 0 {
+		section = section[:end+1]
+	}
+	return section
+}
+
+// backtickRow matches the backticked first column of one table row:
+// mixes ("mcf+art"), policy labels ("sbar/32/static"), or feature
+// names ("Prefetch").
+var backtickRow = regexp.MustCompile("^\\| `([A-Za-z0-9+/]+)` \\|")
+
+// firstColumns returns the backticked first-column cells of every
+// table row in the section, in order.
+func firstColumns(section string) []string {
+	var out []string
+	for _, line := range strings.Split(section, "\n") {
+		if m := backtickRow.FindStringSubmatch(line); m != nil {
+			out = append(out, m[1])
+		}
+	}
+	return out
+}
+
+// docMixesAndPolicies parses the contention-experiment section: rows
+// containing "+" are workload mixes, the rest are policy labels.
+func docMixesAndPolicies(t *testing.T) (mixes, policies []string) {
+	t.Helper()
+	for _, name := range firstColumns(multicoreSection(t, "Contention experiment")) {
+		if strings.Contains(name, "+") {
+			mixes = append(mixes, name)
+		} else {
+			policies = append(policies, name)
+		}
+	}
+	if len(mixes) == 0 || len(policies) == 0 {
+		t.Fatalf("contention section parse found %d mixes, %d policies — table format changed?",
+			len(mixes), len(policies))
+	}
+	return mixes, policies
+}
+
+// TestMulticoreMixTableMatchesExperiment pins the documented workload
+// mixes to experiments.MulticoreMixes in both directions, in order.
+func TestMulticoreMixTableMatchesExperiment(t *testing.T) {
+	docMixes, _ := docMixesAndPolicies(t)
+
+	var codeMixes []string
+	for _, mix := range experiments.MulticoreMixes {
+		codeMixes = append(codeMixes, strings.Join(mix, "+"))
+		for _, b := range mix {
+			if _, ok := workload.ByName(b); !ok {
+				t.Errorf("mix benchmark %q is not a compiled-in workload", b)
+			}
+		}
+	}
+
+	if len(docMixes) != len(codeMixes) {
+		t.Fatalf("doc lists %d mixes %v, experiments.MulticoreMixes has %d %v",
+			len(docMixes), docMixes, len(codeMixes), codeMixes)
+	}
+	docSet := map[string]bool{}
+	for _, m := range docMixes {
+		docSet[m] = true
+	}
+	for _, m := range codeMixes {
+		if !docSet[m] {
+			t.Errorf("mix %q runs in the experiment but is missing from docs/MULTICORE.md", m)
+		}
+	}
+	codeSet := map[string]bool{}
+	for _, m := range codeMixes {
+		codeSet[m] = true
+	}
+	for _, m := range docMixes {
+		if !codeSet[m] {
+			t.Errorf("documented mix %q is not in experiments.MulticoreMixes", m)
+		}
+	}
+}
+
+// TestMulticorePolicyTableMatchesLabels pins the documented policy
+// labels to the comparison set's actual PolicySpec labels.
+func TestMulticorePolicyTableMatchesLabels(t *testing.T) {
+	_, docPolicies := docMixesAndPolicies(t)
+	comparison := []sim.PolicySpec{
+		{Kind: sim.PolicyLRU},
+		{Kind: sim.PolicyLIN, Lambda: 4},
+		{Kind: sim.PolicySBAR},
+	}
+	if len(docPolicies) != len(comparison) {
+		t.Fatalf("doc lists %d policy labels %v, comparison set has %d",
+			len(docPolicies), docPolicies, len(comparison))
+	}
+	for i, spec := range comparison {
+		if got := spec.String(); got != docPolicies[i] {
+			t.Errorf("policy %d: doc labels it %q, spec renders %q", i, docPolicies[i], got)
+		}
+	}
+}
+
+// rejectedFeatures maps each documented single-core-only feature to a
+// mutation enabling it; RunMulti must refuse each with ErrBadConfig.
+var rejectedFeatures = map[string]func(*sim.Config){
+	"Prefetch": func(cfg *sim.Config) {
+		pcfg := prefetch.DefaultConfig()
+		cfg.Prefetch = &pcfg
+	},
+	"Capture":          func(cfg *sim.Config) { cfg.Capture = oracle.NewCapture() },
+	"Faults":           func(cfg *sim.Config) { cfg.Faults = &faultinject.Plan{} },
+	"SampleInterval":   func(cfg *sim.Config) { cfg.SampleInterval = 10_000 },
+	"SnapshotInterval": func(cfg *sim.Config) { cfg.SnapshotInterval = 10_000 },
+}
+
+// TestMulticoreRejectedFeaturesMatchValidation checks the
+// "Configuration surface" table in both directions: every documented
+// rejected feature really is refused with ErrBadConfig, and every
+// feature the validator refuses is documented.
+func TestMulticoreRejectedFeaturesMatchValidation(t *testing.T) {
+	documented := firstColumns(multicoreSection(t, "Configuration surface"))
+	if len(documented) == 0 {
+		t.Fatal("no rejected-feature rows parsed — table format changed?")
+	}
+	docSet := map[string]bool{}
+	for _, name := range documented {
+		docSet[name] = true
+		if _, ok := rejectedFeatures[name]; !ok {
+			t.Errorf("documented rejected feature %q unknown to this test — update rejectedFeatures and validateMulti together", name)
+		}
+	}
+	w, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("unknown benchmark mcf")
+	}
+	for name, enable := range rejectedFeatures {
+		if !docSet[name] {
+			t.Errorf("rejected feature %q missing from docs/MULTICORE.md", name)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.MaxInstructions = 1000
+		enable(&cfg)
+		_, err := sim.RunMulti(cfg, w.Build(1))
+		if err == nil {
+			t.Errorf("feature %q: multicore run accepted a config the doc promises it rejects", name)
+			continue
+		}
+		if !errors.Is(err, ErrBadConfig) {
+			t.Errorf("feature %q: rejected with %v, want ErrBadConfig", name, err)
+		}
+	}
+}
+
+// TestMulticoreCoresBound pins the documented cores limit to
+// sim.MaxCores and checks the out-of-range rejection.
+func TestMulticoreCoresBound(t *testing.T) {
+	if sim.MaxCores != 64 {
+		t.Fatalf("sim.MaxCores = %d; docs/MULTICORE.md promises 64", sim.MaxCores)
+	}
+	section := multicoreSection(t, "Configuration surface")
+	if !strings.Contains(section, "`sim.MaxCores` = 64") {
+		t.Error("configuration section lost the `sim.MaxCores` = 64 statement")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = 1000
+	if _, err := sim.RunMulti(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero-source run rejected with %v, want ErrBadConfig", err)
+	}
+}
+
+// TestMulticoreContractLanguage pins the load-bearing phrases: the
+// doc must keep naming the interface cut, the equivalence guarantee
+// and the cost-model semantics the tests enforce.
+func TestMulticoreContractLanguage(t *testing.T) {
+	for section, phrases := range map[string][]string{
+		"Core-facing interface":    {"cpu.MemSystem", "bit-identical", "TestMulticoreSingleCoreEquivalence"},
+		"Thread-tagged cost model": {"per-thread", "cross-core merge", "sharer"},
+		"Leader-set partitioning":  {"partitioned", "one PSEL per thread", "tid"},
+	} {
+		// Collapse line wraps so phrases can span a reflowed line break.
+		text := strings.Join(strings.Fields(multicoreSection(t, section)), " ")
+		for _, phrase := range phrases {
+			if !strings.Contains(strings.ToLower(text), strings.ToLower(phrase)) {
+				t.Errorf("section %q lost the %q contract language", section, phrase)
+			}
+		}
+	}
+}
+
+// TestMulticoreContentionAcceptance runs the contention experiment at
+// a reduced budget and checks its defining row invariants: one row
+// per (mix, policy) in order, per-core slices matching the mix width,
+// per-core misses summing to the aggregate, and policy labels exactly
+// matching the documented comparison set.
+func TestMulticoreContentionAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	docMixes, docPolicies := docMixesAndPolicies(t)
+	r := experiments.NewRunner(30_000, 42)
+	res := experiments.MulticoreContention(r)
+	if want := len(docMixes) * len(docPolicies); len(res.Rows) != want {
+		t.Fatalf("experiment produced %d rows, want %d (mixes × policies)", len(res.Rows), want)
+	}
+	seenPolicies := map[string]bool{}
+	for i, row := range res.Rows {
+		mix, policy := docMixes[i/len(docPolicies)], docPolicies[i%len(docPolicies)]
+		if row.Mix != mix || row.Policy != policy {
+			t.Errorf("row %d is (%s, %s), want (%s, %s)", i, row.Mix, row.Policy, mix, policy)
+		}
+		seenPolicies[row.Policy] = true
+		width := strings.Count(row.Mix, "+") + 1
+		if len(row.CoreMisses) != width || len(row.CoreMPKI) != width || len(row.CoreCost) != width {
+			t.Errorf("row %d: per-core slices sized %d/%d/%d, want %d",
+				i, len(row.CoreMisses), len(row.CoreMPKI), len(row.CoreCost), width)
+			continue
+		}
+		var sum uint64
+		for _, m := range row.CoreMisses {
+			sum += m
+		}
+		if sum != row.AggMisses {
+			t.Errorf("row %d (%s, %s): per-core misses sum to %d, aggregate says %d",
+				i, row.Mix, row.Policy, sum, row.AggMisses)
+		}
+		if row.AggMisses == 0 || row.AggIPC <= 0 {
+			t.Errorf("row %d (%s, %s): degenerate aggregates (misses %d, IPC %f)",
+				i, row.Mix, row.Policy, row.AggMisses, row.AggIPC)
+		}
+	}
+	for _, p := range docPolicies {
+		if !seenPolicies[p] {
+			t.Errorf("documented policy %q never appeared in the experiment's rows", p)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"regexp"
@@ -21,6 +22,7 @@ import (
 	"mlpcache/internal/prefetch"
 	"mlpcache/internal/service"
 	"mlpcache/internal/sim"
+	"mlpcache/internal/trace"
 	"mlpcache/internal/workload"
 )
 
@@ -29,6 +31,15 @@ import (
 // second column. Rows whose second column is a metric kind belong to
 // the metric catalog; rows in the event table have prose there.
 var catalogRow = regexp.MustCompile("^\\| `([a-z][a-z0-9_.]*)` \\| ([^|]*) \\|")
+
+// templateRow matches the per-core template rows of the multi-core
+// metric catalog (`core.<i>.NAME`); parseCatalogs expands `<i>` for
+// every core of the covering multi-core run.
+var templateRow = regexp.MustCompile("^\\| `core\\.<i>\\.([a-z][a-z0-9_.]*)` \\| ([^|]*) \\|")
+
+// multicoreCores is how many cores the covering multi-core run uses —
+// template rows expand to exactly this many concrete names.
+const multicoreCores = 2
 
 // parseCatalogs reads the observability contract and returns the
 // documented metric catalog (name -> kind) and event-type set.
@@ -49,6 +60,22 @@ func parseCatalogs(t *testing.T) (map[string]metrics.Kind, map[string]bool) {
 	for _, line := range strings.Split(string(raw), "\n") {
 		m := catalogRow.FindStringSubmatch(line)
 		if m == nil {
+			// Per-core template rows: expand `<i>` for each core of
+			// the covering multi-core run.
+			if tm := templateRow.FindStringSubmatch(line); tm != nil {
+				k, ok := kinds[strings.TrimSpace(tm[2])]
+				if !ok {
+					t.Errorf("template row %q has no metric kind", line)
+					continue
+				}
+				for i := 0; i < multicoreCores; i++ {
+					name := fmt.Sprintf("core.%d.%s", i, tm[1])
+					if _, dup := docMetrics[name]; dup {
+						t.Errorf("doc lists metric %q twice", name)
+					}
+					docMetrics[name] = k
+				}
+			}
 			continue
 		}
 		name, second := m[1], strings.TrimSpace(m[2])
@@ -133,6 +160,36 @@ func oracleRegistry(t testing.TB) *metrics.Registry {
 	return reg
 }
 
+// multicoreRegistry runs the covering multi-core simulation — two cores
+// (mcf+art) sharing the L2 under audited rand-dynamic SBAR, so the
+// partitioned per-thread selectors exist and core.<i>.psel_value
+// registers — and returns its MultiResult registry: the multicore.*
+// family plus every expanded core.<i>.* template row.
+func multicoreRegistry(t testing.TB) *metrics.Registry {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = 120_000
+	cfg.Audit = true
+	cfg.Policy = sim.PolicySpec{Kind: sim.PolicySBAR, RandDynamic: true, Seed: 42}
+	cfg.EpochInstructions = 60_000
+	var srcs []trace.Source
+	for i, bench := range []string{"mcf", "art"} {
+		w, ok := workload.ByName(bench)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", bench)
+		}
+		srcs = append(srcs, w.Build(42+uint64(i)))
+	}
+	if len(srcs) != multicoreCores {
+		t.Fatalf("covering mix has %d cores, template expansion assumes %d", len(srcs), multicoreCores)
+	}
+	res, err := sim.RunMulti(cfg, srcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Metrics()
+}
+
 // serviceRegistry returns the sweep-service daemon's service.* family —
 // what mlpserve's GET /metrics renders. Every service metric registers
 // on any snapshot (zero-valued counters included), so no jobs need run.
@@ -167,6 +224,11 @@ func TestMetricCatalogMatchesEmission(t *testing.T) {
 	}
 	// The sweep-service daemon's service.* family (mlpserve /metrics).
 	for _, s := range serviceRegistry(t).Samples() {
+		emitted[s.Name] = s.Kind
+	}
+	// The multi-core families (mlpsim -cores N): multicore.* and the
+	// per-core core.<i>.* groups the template rows expand to.
+	for _, s := range multicoreRegistry(t).Samples() {
 		emitted[s.Name] = s.Kind
 	}
 

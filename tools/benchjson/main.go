@@ -65,7 +65,7 @@ import (
 
 // benchPattern selects the perf-trajectory suite; bench-smoke separately
 // guards that the observability and oracle benchmarks keep existing.
-const benchPattern = "BenchmarkSimulatorThroughput|BenchmarkObservability|BenchmarkTracingV2|BenchmarkOracleHeadroom|BenchmarkGeneratorThroughput|BenchmarkTraceEncode|BenchmarkServiceThroughput"
+const benchPattern = "BenchmarkSimulatorThroughput|BenchmarkMulticoreThroughput|BenchmarkObservability|BenchmarkTracingV2|BenchmarkOracleHeadroom|BenchmarkGeneratorThroughput|BenchmarkTraceEncode|BenchmarkServiceThroughput"
 
 // The relational allocation gate: v2-traced runs must stay within this
 // factor of the untraced run's allocs/op (the binary tracer's Emit path
