@@ -414,6 +414,32 @@ func BenchmarkTracingV2(b *testing.B) {
 	})
 }
 
+// BenchmarkLearnedEviction prices the learned victim paths against
+// LRU's on identical runs: "lru" is the baseline, "bandit" the
+// five-arm shadow-directory bandit, and "learned" the hit-count
+// predictor running its untrained default (the full fill/victim path
+// without a model file). The acceptance contract (enforced by `make
+// bench-compare`) is relational: the learned policies' allocs/op stay
+// within 1.5x of LRU's — both victim paths rank on the shared scratch,
+// so beyond one-time construction the runs allocate alike.
+func BenchmarkLearnedEviction(b *testing.B) {
+	run := func(b *testing.B, spec sim.PolicySpec) {
+		w, _ := workload.ByName("mcf")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := sim.DefaultConfig()
+			cfg.MaxInstructions = benchInstructions
+			cfg.Policy = spec
+			sim.MustRun(cfg, w.Build(42))
+		}
+		b.ReportMetric(float64(benchInstructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	}
+	b.Run("lru", func(b *testing.B) { run(b, sim.PolicySpec{Kind: sim.PolicyLRU}) })
+	b.Run("bandit", func(b *testing.B) { run(b, sim.PolicySpec{Kind: sim.PolicyBandit, Seed: 42}) })
+	b.Run("learned", func(b *testing.B) { run(b, sim.PolicySpec{Kind: sim.PolicyLearned}) })
+}
+
 // BenchmarkOracleHeadroom measures the offline oracle pipeline end to
 // end — capture a live LRU run's L2 stream, then replay it under
 // Belady, cost-weighted Belady and EHC at the live geometry — and

@@ -32,6 +32,7 @@ func buildTools(t *testing.T) string {
 		"mlpsim":   "./cmd/mlpsim",
 		"mlpexp":   "./cmd/mlpexp",
 		"mlptrace": "./cmd/mlptrace",
+		"mlptrain": "./cmd/mlptrain",
 		"mlpserve": "./cmd/mlpserve",
 		"loadgen":  "./tools/loadgen",
 	} {
@@ -165,6 +166,14 @@ func TestCLIEndToEnd(t *testing.T) {
 
 	t.Run("mlptrace-missing-file-fails", func(t *testing.T) {
 		mustFailCleanly(t, "mlptrace", "-stats", filepath.Join(dir, "absent.trace"))
+	})
+
+	t.Run("mlpsim-oracle-multicore-fails", func(t *testing.T) {
+		out := mustFailCleanly(t, "mlpsim", "-bench", "mcf,art",
+			"-cores", "2", "-oracle", "-n", "1000")
+		if !strings.Contains(out, "-oracle") || !strings.Contains(out, "-cores") {
+			t.Fatalf("diagnostic does not name the conflicting flags:\n%s", out)
+		}
 	})
 
 	t.Run("mlpsim-audited-run", func(t *testing.T) {
@@ -342,7 +351,7 @@ func runDocCommands(t *testing.T, dir, section string, minCmds int) {
 			case "-metrics", "-trace-events", "-cpuprofile", "-memprofile", "-o":
 				args[i+1] = filepath.Join(dir, args[i+1])
 				outputs = append(outputs, args[i+1])
-			case "-events":
+			case "-events", "-model", "-inspect":
 				// An input file a previous documented command wrote
 				// into dir; redirect the path, don't expect output.
 				args[i+1] = filepath.Join(dir, args[i+1])
@@ -373,6 +382,7 @@ func TestExperimentsCommandsRun(t *testing.T) {
 	runDocCommands(t, dir, "Measuring oracle headroom", 4)
 	runDocCommands(t, dir, "Binary event capture and decode", 5)
 	runDocCommands(t, dir, "Multi-core contention", 6)
+	runDocCommands(t, dir, "Training and evaluating learned eviction", 5)
 }
 
 // TestCLIOracle drives mlpsim -oracle end to end: the text report must
@@ -417,6 +427,131 @@ func TestCLIOracle(t *testing.T) {
 		if n == 0 {
 			t.Fatal("-oracle -metrics wrote no samples")
 		}
+	})
+}
+
+// TestCLILearned drives the learned eviction subsystem's CLI loop end
+// to end (docs/LEARNED.md): mlptrain writes a deterministic model,
+// -inspect decodes it, mlpsim runs it as -policy learned, the bandit
+// reports its arm statistics, and corrupt model files fail with a
+// one-line diagnostic in both consumers.
+func TestCLILearned(t *testing.T) {
+	dir := buildTools(t)
+	model := filepath.Join(dir, "mcf.model")
+
+	t.Run("train", func(t *testing.T) {
+		out := runTool(t, dir, "mlptrain", "-bench", "mcf", "-n", "120000", "-o", model)
+		for _, want := range []string{"captured", "trained", "model"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("mlptrain report missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("train-deterministic", func(t *testing.T) {
+		again := filepath.Join(dir, "mcf-again.model")
+		runTool(t, dir, "mlptrain", "-bench", "mcf", "-n", "120000", "-o", again)
+		a, err := os.ReadFile(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("same benchmark, budget and seeds produced different model files (%d vs %d bytes)",
+				len(a), len(b))
+		}
+	})
+
+	t.Run("inspect", func(t *testing.T) {
+		out := runTool(t, dir, "mlptrain", "-inspect", model)
+		for _, want := range []string{"geometry", "table", "training", "trained signatures"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("-inspect report missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("simulate-learned", func(t *testing.T) {
+		out := runTool(t, dir, "mlpsim", "-bench", "mcf", "-policy", "learned",
+			"-model", model, "-n", "120000", "-hist=false")
+		for _, want := range []string{"learned:", "model fills:", "trained"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("-policy learned report missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("simulate-bandit", func(t *testing.T) {
+		out := runTool(t, dir, "mlpsim", "-bench", "mcf", "-policy", "bandit",
+			"-n", "120000", "-hist=false")
+		for _, want := range []string{"learned:", "bandit arms:", "arm values:"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("-policy bandit report missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	mustFailCleanly := func(t *testing.T, tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(dir, tool), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s %v: expected non-zero exit\n%s", tool, args, out)
+		}
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%s %v: did not run: %v", tool, args, err)
+		}
+		if strings.Contains(string(out), "panic:") || strings.Contains(string(out), "goroutine ") {
+			t.Fatalf("%s %v: panic escaped to the user:\n%s", tool, args, out)
+		}
+		return string(out)
+	}
+
+	t.Run("corrupt-model-fails", func(t *testing.T) {
+		raw, err := os.ReadFile(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := filepath.Join(dir, "bad.model")
+		flipped := append([]byte(nil), raw...)
+		flipped[len(flipped)/2] ^= 0xFF
+		if err := os.WriteFile(bad, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, argv := range [][]string{
+			{"mlptrain", "-inspect", bad},
+			{"mlpsim", "-bench", "mcf", "-policy", "learned", "-model", bad, "-n", "1000"},
+		} {
+			out := mustFailCleanly(t, argv[0], argv[1:]...)
+			if !strings.Contains(out, "model") {
+				t.Fatalf("%v: diagnostic does not mention the model file:\n%s", argv, out)
+			}
+			if strings.Count(strings.TrimSpace(out), "\n") > 0 {
+				t.Fatalf("%v: diagnostic is not one line:\n%s", argv, out)
+			}
+		}
+	})
+
+	t.Run("truncated-model-fails", func(t *testing.T) {
+		raw, err := os.ReadFile(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		short := filepath.Join(dir, "short.model")
+		if err := os.WriteFile(short, raw[:16], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mustFailCleanly(t, "mlptrain", "-inspect", short)
+		mustFailCleanly(t, "mlpsim", "-bench", "mcf", "-policy", "learned",
+			"-model", short, "-n", "1000")
+	})
+
+	t.Run("missing-model-fails", func(t *testing.T) {
+		mustFailCleanly(t, "mlpsim", "-bench", "mcf", "-policy", "learned",
+			"-model", filepath.Join(dir, "absent.model"), "-n", "1000")
 	})
 }
 

@@ -23,6 +23,8 @@
 //	mlpsim -bench mcf -trace-events ev.bin -trace-events-format v2 -snapshot-interval 250000
 //	mlpsim -bench mcf,art -cores 2 -policy sbar -n 2000000
 //	mlpsim -bench mcf -policy lru -oracle
+//	mlpsim -bench mcf -policy bandit
+//	mlpsim -bench mcf -policy learned -model mcf.model
 //	mlpsim -bench mcf -n 100000000 -timeout 30s
 //	mlpsim -list
 package main
@@ -36,6 +38,7 @@ import (
 	"strings"
 
 	"mlpcache/internal/bpred"
+	"mlpcache/internal/learn"
 	"mlpcache/internal/metrics"
 	"mlpcache/internal/oracle"
 	"mlpcache/internal/prefetch"
@@ -49,7 +52,8 @@ func main() {
 	var (
 		bench       = flag.String("bench", "mcf", "benchmark model to run (see -list); with -cores N, a comma-separated mix (last entry repeats)")
 		cores       = flag.Int("cores", 1, "cores sharing the contended L2 (multi-core mode when >1; core i seeds its model with seed+i)")
-		policy      = flag.String("policy", "lru", "replacement policy: lru|fifo|random|nmru|lin|sbar|cbs-local|cbs-global")
+		policy      = flag.String("policy", "lru", "replacement policy: lru|fifo|random|nmru|lin|sbar|cbs-local|cbs-global|bandit|learned")
+		modelPath   = flag.String("model", "", "trained model file for -policy learned (mlptrain output; empty: untrained default, behaves like LRU)")
 		lambda      = flag.Int("lambda", 4, "LIN λ (also used inside SBAR/CBS)")
 		leaders     = flag.Int("leaders", 32, "SBAR leader sets")
 		pselBits    = flag.Int("psel", 0, "PSEL bits (0: policy default)")
@@ -165,6 +169,7 @@ func main() {
 		PselBits:    *pselBits,
 		RandDynamic: *randDyn,
 		Seed:        *seed,
+		ModelPath:   *modelPath,
 	}
 	if *series {
 		cfg.SampleInterval = *interval
@@ -327,6 +332,25 @@ func main() {
 	}
 }
 
+// printLearn renders the learned-eviction accounting (bandit or
+// predictor runs; nil otherwise).
+func printLearn(s *learn.Stats) {
+	if s == nil {
+		return
+	}
+	fmt.Printf("learned: %d victims; %d would-have-hit / %d confirmed sampled misses\n",
+		s.Victims, s.GhostHits, s.Confirmed)
+	if pulls := s.ArmRecency + s.ArmProtect + s.ArmFrequency + s.ArmCost + s.ArmScatter; pulls > 0 {
+		fmt.Printf("  bandit arms: recency %d, protect %d, frequency %d, cost %d, scatter %d\n",
+			s.ArmRecency, s.ArmProtect, s.ArmFrequency, s.ArmCost, s.ArmScatter)
+		fmt.Printf("  arm values: recency %+.4f, protect %+.4f, frequency %+.4f, cost %+.4f, scatter %+.4f\n",
+			s.WeightRecency, s.WeightProtect, s.WeightFrequency, s.WeightCost, s.WeightScatter)
+	}
+	if s.TrainedFills+s.UntrainedFills > 0 {
+		fmt.Printf("  model fills: %d trained, %d untrained\n", s.TrainedFills, s.UntrainedFills)
+	}
+}
+
 // printOracle renders the offline oracle comparison to stdout.
 func printOracle(cmp oracle.Comparison) {
 	fmt.Printf("oracle: %d captured accesses replayed at %dx%d\n",
@@ -369,6 +393,7 @@ func printMultiReport(res sim.MultiResult, benchLabel string, hist bool) {
 			fmt.Printf("  thread %d selector %d\n", i, v)
 		}
 	}
+	printLearn(res.Learn)
 	if hist {
 		fmt.Printf("mlp-cost distribution (%% of misses):\n")
 		pct := res.CostHist.Percent()
@@ -421,6 +446,7 @@ func printReport(res sim.Result, benchLabel string, hist bool) {
 			res.Hybrid.PselIncrements, res.Hybrid.PselDecrements,
 			res.Hybrid.LinVictims, res.Hybrid.LruVictims)
 	}
+	printLearn(res.Learn)
 	if hist {
 		fmt.Printf("mlp-cost distribution (%% of misses):\n")
 		pct := res.CostHist.Percent()

@@ -19,7 +19,7 @@ func AllIDs() []string {
 	return []string{
 		"fig1", "fig2", "tab1", "tab2", "tab3", "fig3b",
 		"fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "ovh",
-		"oracle-headroom",
+		"oracle-headroom", "learned-headroom",
 	}
 }
 
@@ -95,6 +95,8 @@ func resolve(r *Runner, id string) (res renderable, err error) {
 		res = OverheadReport()
 	case "oracle-headroom":
 		res = OracleHeadroom(r)
+	case "learned-headroom":
+		res = LearnedHeadroom(r)
 	case "sens-mem":
 		res = SensitivityMemLatency(r)
 	case "sens-cache":

@@ -58,3 +58,6 @@ func (f OracleHeadroomResult) Render(w io.Writer) { f.table().Render(w) }
 
 // Render writes the paper-style text table.
 func (f MulticoreResult) Render(w io.Writer) { f.table().Render(w) }
+
+// Render writes the paper-style text table.
+func (f LearnedHeadroomResult) Render(w io.Writer) { f.table().Render(w) }

@@ -1,0 +1,48 @@
+package learn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mlpcache/internal/simerr"
+)
+
+// FuzzModelDecode feeds arbitrary bytes to the model codec. The decoder
+// must never panic and never over-allocate: it either returns a model
+// whose re-encoding is byte-identical to the input, or fails with a
+// wrapped simerr.ErrCorruptTrace — the same contract as the trace and
+// events decoders, so the CLIs report one line on stderr and exit 1.
+func FuzzModelDecode(f *testing.F) {
+	// Seed corpus: a trained-looking model, an untrained default, and
+	// the codec's rejection paths (truncation, bad magic, flipped CRC,
+	// absurd tableBits, zero geometry, trailing garbage).
+	m := NewModel(64, 8, 8, 0xabcdef)
+	m.Generations = 41
+	for i := 0; i < len(m.Table); i += 3 {
+		m.Table[i] = uint8(i % int(Untrained))
+	}
+	valid := m.Encode()
+	f.Add(valid)
+	f.Add(NewModel(1, 1, 1, 0).Encode())
+	f.Add([]byte{})
+	f.Add(valid[:modelHeaderLen])
+	f.Add(append([]byte("XLPM\x01"), valid[5:]...))
+	f.Add(func() []byte { b := bytes.Clone(valid); b[len(b)-2] ^= 0x80; return b }())
+	f.Add(func() []byte { b := bytes.Clone(valid); b[5] = 63; return b }())
+	f.Add(func() []byte { b := bytes.Clone(valid); b[6], b[7] = 0, 0; return b }())
+	f.Add(append(bytes.Clone(valid), 0xee))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeModel(data)
+		if err != nil {
+			if !errors.Is(err, simerr.ErrCorruptTrace) {
+				t.Fatalf("decode error not typed ErrCorruptTrace: %v", err)
+			}
+			return
+		}
+		if got := m.Encode(); !bytes.Equal(got, data) {
+			t.Fatalf("decode→encode drifted: %d in, %d out", len(data), len(got))
+		}
+	})
+}

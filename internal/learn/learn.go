@@ -1,0 +1,62 @@
+// Package learn layers learned eviction onto the reproduction: a
+// multi-armed bandit that treats per-set way selection as an expert
+// problem with delayed, mlp-cost-decayed feedback, and an expected-
+// hit-count predictor trained offline from oracle capture logs against
+// Belady decisions. Both consume the paper's quantized mlp-cost signal
+// (Figure 3b): the bandit's penalty for a bad eviction scales with the
+// cost_q of the miss it caused, so expensive misses — the Section 2
+// cost objective — punish harder than parallel ones. Both policies are
+// allocation-free on the victim path (SetView.Ranks scratch, the same
+// discipline as core.CostAware) and register as first-class replacement
+// configurations in internal/sim.
+package learn
+
+// Stats aggregates one run's learned-eviction accounting. Bandit runs
+// populate the arm counters and final weights; predictor runs populate
+// the fill-signature counters. Victims counts every victim decision the
+// policy made.
+type Stats struct {
+	// Victims counts victim decisions (full sets only; invalid-way
+	// fills never reach the policy).
+	Victims uint64
+	// GhostHits counts sampled main-directory misses that hit at least
+	// one arm's shadow directory — a would-have-hit: some eviction
+	// schedule would have kept the block, so the arms that lost it are
+	// penalized by the miss's quantized mlp-cost.
+	GhostHits uint64
+	// Confirmed counts sampled main-directory misses that missed every
+	// arm's shadow — no schedule would have kept the block, so the
+	// eviction is confirmed harmless and every arm collects the small
+	// confirmation reward.
+	Confirmed uint64
+	// ArmRecency/ArmProtect/ArmFrequency/ArmCost/ArmScatter count
+	// victim decisions per bandit arm.
+	ArmRecency   uint64
+	ArmProtect   uint64
+	ArmFrequency uint64
+	ArmCost      uint64
+	ArmScatter   uint64
+	// WeightRecency/WeightProtect/WeightFrequency/WeightCost/
+	// WeightScatter are the bandit's final per-arm running-mean outcome
+	// estimates (reward positive, penalty negative).
+	WeightRecency   float64
+	WeightProtect   float64
+	WeightFrequency float64
+	WeightCost      float64
+	WeightScatter   float64
+	// TrainedFills counts fills whose block signature hit a trained
+	// model entry; UntrainedFills counts fills that fell back to the
+	// neutral prediction.
+	TrainedFills   uint64
+	UntrainedFills uint64
+}
+
+// splitmix64 is the block-signature mixer shared by the trainer and the
+// online predictor — the model file stores the seed so the two always
+// hash identically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

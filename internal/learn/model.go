@@ -1,0 +1,168 @@
+package learn
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+
+	"mlpcache/internal/simerr"
+)
+
+// Model file layout (mlpcache.model/v1; the version rides in the magic
+// like the events/v2 encoding):
+//
+//	magic        "MLPM\x01" (5 bytes)
+//	tableBits    u8  — table holds 1<<tableBits one-byte entries
+//	assoc        u16 LE — geometry the model was trained for
+//	sets         u32 LE
+//	seed         u64 LE — signature-hash salt (training determinism)
+//	generations  u64 LE — Belady generations closed during training
+//	table        1<<tableBits bytes of fixed-point expected hit counts
+//	crc32        u32 LE — IEEE CRC over every preceding byte
+//
+// Encoding is a pure function of the struct, so the acceptance
+// criterion "same capture + seed → byte-identical model file" reduces
+// to deterministic training. A truncated or corrupt file fails decoding
+// with a typed simerr.ErrCorruptTrace, exactly like the trace and
+// events codecs, so the CLIs report one line on stderr and exit 1.
+const (
+	modelMagic = "MLPM\x01"
+
+	// MaxTableBits bounds the table so a corrupt header cannot demand
+	// an absurd allocation from the decoder.
+	MaxTableBits = 24
+	// DefaultTableBits sizes untrained default models and the trainer's
+	// default table (64 Ki entries, 64 KiB — cheap next to the 1 MB L2).
+	DefaultTableBits = 16
+
+	// Untrained marks a table entry no training generation ever
+	// touched; the online predictor substitutes a neutral prediction.
+	Untrained = 0xFF
+	// HitScale is the fixed-point scale of trained entries: entry =
+	// round(HitScale × mean hits per Belady generation), capped below
+	// Untrained.
+	HitScale = 8
+
+	modelHeaderLen = 5 + 1 + 2 + 4 + 8 + 8
+)
+
+// Model is a trained (or untrained) expected-hit-count table keyed by
+// block signature.
+type Model struct {
+	TableBits uint8
+	Sets      uint32
+	Assoc     uint16
+	Seed      uint64
+	// Generations counts the Belady generations the trainer closed —
+	// 0 identifies an untrained default model.
+	Generations uint64
+	Table       []uint8
+}
+
+// NewModel returns an untrained model (every entry Untrained) for the
+// given cache geometry.
+func NewModel(sets, assoc, tableBits int, seed uint64) *Model {
+	if tableBits < 1 || tableBits > MaxTableBits {
+		panic(simerr.New(simerr.ErrBadConfig, "learn: tableBits must be in [1,%d], got %d", MaxTableBits, tableBits))
+	}
+	if sets < 1 || assoc < 1 {
+		panic(simerr.New(simerr.ErrBadConfig, "learn: model geometry %d sets × %d ways is invalid", sets, assoc))
+	}
+	table := make([]uint8, 1<<tableBits)
+	for i := range table {
+		table[i] = Untrained
+	}
+	return &Model{
+		TableBits: uint8(tableBits),
+		Sets:      uint32(sets),
+		Assoc:     uint16(assoc),
+		Seed:      seed,
+		Table:     table,
+	}
+}
+
+// signature hashes a block address into a table index. The set/tag
+// split of the default cache indexer (set = block mod sets, tag =
+// block / sets) is inverted here so the online predictor, which sees
+// tags, addresses the same entry the trainer wrote for the block.
+func (m *Model) signature(block uint64) uint32 {
+	return uint32(splitmix64(block^m.Seed) >> (64 - uint(m.TableBits)))
+}
+
+// Lookup returns the trained entry for a block (Untrained when no
+// generation touched its signature).
+func (m *Model) Lookup(block uint64) uint8 { return m.Table[m.signature(block)] }
+
+// Trained counts table entries holding a trained prediction.
+func (m *Model) Trained() int {
+	n := 0
+	for _, e := range m.Table {
+		if e != Untrained {
+			n++
+		}
+	}
+	return n
+}
+
+// Encode serializes the model. The output is a pure function of the
+// struct's fields.
+func (m *Model) Encode() []byte {
+	out := make([]byte, 0, modelHeaderLen+len(m.Table)+4)
+	out = append(out, modelMagic...)
+	out = append(out, m.TableBits)
+	out = binary.LittleEndian.AppendUint16(out, m.Assoc)
+	out = binary.LittleEndian.AppendUint32(out, m.Sets)
+	out = binary.LittleEndian.AppendUint64(out, m.Seed)
+	out = binary.LittleEndian.AppendUint64(out, m.Generations)
+	out = append(out, m.Table...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// DecodeModel parses a serialized model, validating the magic, the
+// header bounds, the exact payload length and the CRC trailer. Every
+// failure is a wrapped simerr.ErrCorruptTrace.
+func DecodeModel(data []byte) (*Model, error) {
+	if len(data) < modelHeaderLen+4 {
+		return nil, simerr.New(simerr.ErrCorruptTrace, "learn: model truncated at %d bytes (header needs %d)", len(data), modelHeaderLen+4)
+	}
+	if string(data[:5]) != modelMagic {
+		return nil, simerr.New(simerr.ErrCorruptTrace, "learn: bad model magic %q", data[:5])
+	}
+	m := &Model{
+		TableBits:   data[5],
+		Assoc:       binary.LittleEndian.Uint16(data[6:8]),
+		Sets:        binary.LittleEndian.Uint32(data[8:12]),
+		Seed:        binary.LittleEndian.Uint64(data[12:20]),
+		Generations: binary.LittleEndian.Uint64(data[20:28]),
+	}
+	if m.TableBits < 1 || m.TableBits > MaxTableBits {
+		return nil, simerr.New(simerr.ErrCorruptTrace, "learn: model tableBits %d out of range [1,%d]", m.TableBits, MaxTableBits)
+	}
+	if m.Sets == 0 || m.Assoc == 0 {
+		return nil, simerr.New(simerr.ErrCorruptTrace, "learn: model geometry %d sets × %d ways is invalid", m.Sets, m.Assoc)
+	}
+	tableLen := 1 << m.TableBits
+	if want := modelHeaderLen + tableLen + 4; len(data) != want {
+		return nil, simerr.New(simerr.ErrCorruptTrace, "learn: model is %d bytes, want %d for %d table bits", len(data), want, m.TableBits)
+	}
+	body := data[:len(data)-4]
+	if got, want := binary.LittleEndian.Uint32(data[len(data)-4:]), crc32.ChecksumIEEE(body); got != want {
+		return nil, simerr.New(simerr.ErrCorruptTrace, "learn: model CRC mismatch: file says %08x, payload hashes to %08x", got, want)
+	}
+	m.Table = append([]uint8(nil), data[modelHeaderLen:modelHeaderLen+tableLen]...)
+	return m, nil
+}
+
+// WriteFile serializes the model to path.
+func (m *Model) WriteFile(path string) error {
+	return os.WriteFile(path, m.Encode(), 0o644)
+}
+
+// ReadModelFile loads and validates a serialized model.
+func ReadModelFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, simerr.Wrap(simerr.ErrCorruptTrace, err, "learn: reading model")
+	}
+	return DecodeModel(data)
+}

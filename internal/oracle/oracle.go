@@ -16,6 +16,7 @@ package oracle
 
 import (
 	"mlpcache/internal/core"
+	"mlpcache/internal/learn"
 	"mlpcache/internal/sim"
 )
 
@@ -59,6 +60,18 @@ func LogFromBlocks(blocks []uint64) *Log {
 		log.Records[i] = Record{Block: b, CostQ: 1, Kind: sim.AccessMiss}
 	}
 	return log
+}
+
+// TrainingSamples converts the captured stream into the offline
+// trainer's input: one learn.Sample per record, block plus quantized
+// cost, order preserved — training replays the exact demand stream the
+// live run saw (docs/ORACLE.md, "Capture as training data").
+func (l *Log) TrainingSamples() []learn.Sample {
+	out := make([]learn.Sample, len(l.Records))
+	for i, rec := range l.Records {
+		out[i] = learn.Sample{Block: rec.Block, CostQ: rec.CostQ}
+	}
+	return out
 }
 
 // Capture implements sim.AccessObserver: it appends one Record per L2

@@ -9,6 +9,7 @@ package oracle
 
 import (
 	"mlpcache/internal/cache"
+	"mlpcache/internal/core"
 	"mlpcache/internal/simerr"
 )
 
@@ -247,6 +248,35 @@ func ReplayOnline(log *Log, sets, assoc int, policy cache.Policy) Result {
 		res.Misses++
 		res.CostQSum += uint64(rec.CostQ)
 		c.Fill(rec.Block, rec.CostQ, false)
+	}
+	return res
+}
+
+// ReplayHybrid replays the log through a hybrid selection scheme
+// (SBAR/CBS) driving a fresh tag store — the untimed analogue of a
+// timed hybrid run. build receives the tag store so the hybrid can
+// attach its ATDs; the returned hybrid is installed as the store's
+// policy and the replay mirrors the memory system's access protocol:
+// probe, OnAccess with the outcome (every replay miss is primary — the
+// untimed replay has no MSHR to merge into), then fill and OnFill on a
+// miss. Epochs never advance; static leader selection is the natural
+// fit here.
+func ReplayHybrid(log *Log, sets, assoc int, build func(mtd *cache.Cache) core.Hybrid) Result {
+	checkGeometry(sets, assoc)
+	c := cache.New(cache.Config{Sets: sets, Assoc: assoc, BlockBytes: 1}, nil)
+	h := build(c)
+	c.SetPolicy(h)
+	res := Result{Name: h.Name(), Accesses: log.Accesses()}
+	for _, rec := range log.Records {
+		hit := c.Probe(rec.Block, false)
+		h.OnAccess(rec.Block, false, hit, !hit)
+		if hit {
+			continue
+		}
+		res.Misses++
+		res.CostQSum += uint64(rec.CostQ)
+		c.Fill(rec.Block, rec.CostQ, false)
+		h.OnFill(rec.Block, rec.CostQ)
 	}
 	return res
 }

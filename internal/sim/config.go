@@ -15,6 +15,7 @@ import (
 	"mlpcache/internal/cpu"
 	"mlpcache/internal/dram"
 	"mlpcache/internal/faultinject"
+	"mlpcache/internal/learn"
 	"mlpcache/internal/metrics"
 	"mlpcache/internal/mshr"
 	"mlpcache/internal/prefetch"
@@ -37,6 +38,8 @@ const (
 	PolicySBAR      PolicyKind = "sbar"
 	PolicyCBSLocal  PolicyKind = "cbs-local"
 	PolicyCBSGlobal PolicyKind = "cbs-global"
+	PolicyBandit    PolicyKind = "bandit"
+	PolicyLearned   PolicyKind = "learned"
 )
 
 // AllPolicies lists every supported replacement configuration; the
@@ -44,6 +47,7 @@ const (
 var AllPolicies = []PolicyKind{
 	PolicyLRU, PolicyFIFO, PolicyRandom, PolicyNMRU, PolicyLIN,
 	PolicyBCL, PolicyDCL, PolicyDIP, PolicySBAR, PolicyCBSLocal, PolicyCBSGlobal,
+	PolicyBandit, PolicyLearned,
 }
 
 // Known reports whether the kind names a supported policy ("" selects
@@ -72,8 +76,17 @@ type PolicySpec struct {
 	// RandDynamic selects SBAR's rand-dynamic leader selection instead
 	// of simple-static.
 	RandDynamic bool
-	// Seed seeds stochastic policies (random replacement, rand-dynamic).
+	// Seed seeds stochastic policies (random replacement, rand-dynamic,
+	// the bandit's arm-sampling stream, the untrained default model's
+	// signature salt).
 	Seed uint64
+	// ModelPath names a trained learn.Model file for the learned
+	// policy; empty selects an untrained default model (which behaves
+	// exactly like LRU). Only valid with Kind == PolicyLearned.
+	ModelPath string
+	// Model injects an in-memory model for the learned policy, taking
+	// precedence over ModelPath. Only valid with Kind == PolicyLearned.
+	Model *learn.Model
 }
 
 // String renders a short label ("lin4", "sbar/32").
@@ -265,6 +278,9 @@ func (c Config) Validate() error {
 	if spec.LeaderSets < 0 {
 		return simerr.New(simerr.ErrBadConfig, "sim: policy LeaderSets must be non-negative, got %d", spec.LeaderSets)
 	}
+	if (spec.ModelPath != "" || spec.Model != nil) && spec.Kind != PolicyLearned {
+		return simerr.New(simerr.ErrBadConfig, "sim: a learned model only drives -policy learned, not %q", spec.Kind)
+	}
 	switch spec.Kind {
 	case PolicySBAR, PolicyDIP:
 		sets, err := c.L2.SetCount()
@@ -355,6 +371,29 @@ func buildL2(cfg Config, threads int) (*cache.Cache, core.Hybrid, error) {
 		return l2, core.NewCBS(l2, core.CBSConfig{
 			Scope: core.CBSGlobal, PselBits: spec.PselBits, Lambda: spec.lambda(),
 		}), nil
+	case PolicyBandit:
+		geo := l2.Config()
+		l2.SetPolicy(learn.NewBandit(geo.Sets, geo.Assoc, spec.Seed+5))
+	case PolicyLearned:
+		geo := l2.Config()
+		model := spec.Model
+		if model == nil && spec.ModelPath != "" {
+			m, err := learn.ReadModelFile(spec.ModelPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			model = m
+		}
+		if model == nil {
+			// Untrained default: every signature neutral, which the
+			// predictor resolves to exact LRU behavior.
+			model = learn.NewModel(geo.Sets, geo.Assoc, learn.DefaultTableBits, spec.Seed+7)
+		}
+		p, err := learn.NewPredictor(model, geo.Sets, geo.Assoc)
+		if err != nil {
+			return nil, nil, err
+		}
+		l2.SetPolicy(p)
 	default:
 		return nil, nil, simerr.New(simerr.ErrBadConfig, "sim: unknown policy %q", spec.Kind)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"mlpcache/internal/learn"
 	"mlpcache/internal/metrics"
 )
 
@@ -86,6 +87,9 @@ func (r Result) Metrics() *metrics.Registry {
 		reg.Counter("hybrid.tie_both_miss", "contests", "contests both policies missed").Add(h.TieBothMiss)
 	}
 
+	// Learned eviction machinery (bandit/learned runs only).
+	observeLearn(reg, r.Learn)
+
 	// Interval time series (SampleInterval runs only).
 	if r.Series != nil {
 		s := r.Series
@@ -105,6 +109,30 @@ func (r Result) Metrics() *metrics.Registry {
 	}
 
 	return reg
+}
+
+// observeLearn emits the learn.* family (docs/LEARNED.md) into reg. It
+// is shared between single-core and multi-core exports and a no-op when
+// the run's L2 policy was not a learned one.
+func observeLearn(reg *metrics.Registry, s *learn.Stats) {
+	if s == nil {
+		return
+	}
+	reg.Counter("learn.victims", "victims", "victim decisions made by the learned policy").Add(s.Victims)
+	reg.Counter("learn.ghost_hits", "misses", "sampled misses an arm's shadow would have hit (bandit regret signal)").Add(s.GhostHits)
+	reg.Counter("learn.confirmed", "misses", "sampled misses no arm's shadow held (eviction confirmed harmless)").Add(s.Confirmed)
+	reg.Counter("learn.arm.recency", "victims", "bandit victims chosen by the evict-LRU arm").Add(s.ArmRecency)
+	reg.Counter("learn.arm.protect", "victims", "bandit victims chosen by the evict-MRU arm").Add(s.ArmProtect)
+	reg.Counter("learn.arm.frequency", "victims", "bandit victims chosen by the fewest-hits arm").Add(s.ArmFrequency)
+	reg.Counter("learn.arm.cost", "victims", "bandit victims chosen by the cheapest-cost arm").Add(s.ArmCost)
+	reg.Counter("learn.arm.scatter", "victims", "bandit victims chosen by the random-LRU-half arm").Add(s.ArmScatter)
+	reg.Gauge("learn.weight.recency", "weight", "final evict-LRU arm weight").Set(s.WeightRecency)
+	reg.Gauge("learn.weight.protect", "weight", "final evict-MRU arm weight").Set(s.WeightProtect)
+	reg.Gauge("learn.weight.frequency", "weight", "final fewest-hits arm weight").Set(s.WeightFrequency)
+	reg.Gauge("learn.weight.cost", "weight", "final cheapest-cost arm weight").Set(s.WeightCost)
+	reg.Gauge("learn.weight.scatter", "weight", "final random-LRU-half arm weight").Set(s.WeightScatter)
+	reg.Counter("learn.fills.trained", "fills", "fills whose signature the model had trained").Add(s.TrainedFills)
+	reg.Counter("learn.fills.untrained", "fills", "fills whose signature the model had never seen").Add(s.UntrainedFills)
 }
 
 // Header builds the JSONL run header identifying this result. bench and

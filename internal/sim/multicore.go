@@ -11,6 +11,7 @@ import (
 	"mlpcache/internal/core"
 	"mlpcache/internal/cpu"
 	"mlpcache/internal/dram"
+	"mlpcache/internal/learn"
 	"mlpcache/internal/metrics"
 	"mlpcache/internal/mshr"
 	"mlpcache/internal/simerr"
@@ -479,6 +480,9 @@ type MultiResult struct {
 
 	// Hybrid carries the selection counters when a hybrid policy ran.
 	Hybrid *core.HybridStats
+	// Learn carries the learned-eviction accounting when the bandit or
+	// the learned predictor drove the shared L2 (docs/LEARNED.md).
+	Learn *learn.Stats
 	// PselValues holds each thread's final selector value when the
 	// policy partitions its PSEL per thread (SBAR); nil otherwise.
 	PselValues []int
@@ -747,6 +751,7 @@ func RunMultiContext(ctx context.Context, cfg Config, srcs ...trace.Source) (res
 			}
 		}
 	}
+	res.Learn = learnStatsOf(mem.l2.Policy())
 	for _, s := range orig {
 		if es, ok := s.(interface{ Err() error }); ok {
 			if err := es.Err(); err != nil {

@@ -72,6 +72,7 @@ func TestMulticoreSingleCoreEquivalence(t *testing.T) {
 					CostHist:     multi.CostHist,
 					Delta:        multi.Delta,
 					Hybrid:       multi.Hybrid,
+					Learn:        multi.Learn,
 				}
 				legacy.Audit, legacy.Series = nil, nil
 				if !reflect.DeepEqual(got, legacy) {

@@ -83,6 +83,9 @@ func (r MultiResult) Metrics() *metrics.Registry {
 		reg.Counter("hybrid.tie_both_miss", "contests", "contests both policies missed").Add(h.TieBothMiss)
 	}
 
+	// Learned eviction machinery (bandit/learned runs only).
+	observeLearn(reg, r.Learn)
+
 	// Invariant auditor (audited runs only).
 	if r.Audit != nil {
 		reg.Counter("audit.checks", "passes", "completed auditor passes").Add(r.Audit.Checks)

@@ -11,6 +11,7 @@ import (
 	"mlpcache/internal/cpu"
 	"mlpcache/internal/dram"
 	"mlpcache/internal/faultinject"
+	"mlpcache/internal/learn"
 	"mlpcache/internal/mshr"
 	"mlpcache/internal/simerr"
 	"mlpcache/internal/stats"
@@ -64,6 +65,9 @@ type Result struct {
 	Delta DeltaStats
 	// Hybrid carries the selection counters when a hybrid policy ran.
 	Hybrid *core.HybridStats
+	// Learn carries the learned-eviction accounting when the bandit or
+	// the learned predictor ran (docs/LEARNED.md).
+	Learn *learn.Stats
 	// Series is non-nil when Config.SampleInterval was set.
 	Series *SeriesSet
 	// Audit is non-nil when Config.Audit was set: the invariant
@@ -347,6 +351,7 @@ func RunContext(ctx context.Context, cfg Config, src trace.Source) (res Result, 
 		hs := statsOf(hybrid)
 		res.Hybrid = &hs
 	}
+	res.Learn = learnStatsOf(l2.Policy())
 	if s, ok := orig.(interface{ Err() error }); ok {
 		if err := s.Err(); err != nil {
 			return res, err
@@ -370,6 +375,22 @@ func statsOf(h core.Hybrid) core.HybridStats {
 		return v.Stats()
 	default:
 		return core.HybridStats{}
+	}
+}
+
+// learnStatsOf extracts the learned-eviction accounting when the L2's
+// policy is one of internal/learn's (nil otherwise) — the Learn
+// analogue of statsOf.
+func learnStatsOf(p cache.Policy) *learn.Stats {
+	switch v := p.(type) {
+	case *learn.Bandit:
+		s := v.Stats()
+		return &s
+	case *learn.Predictor:
+		s := v.Stats()
+		return &s
+	default:
+		return nil
 	}
 }
 

@@ -1,0 +1,175 @@
+// Acceptance tests for docs/LEARNED.md and the learned-headroom
+// experiment: the metric catalog in that document is checked in both
+// directions against what a learned run actually registers, and the
+// headroom table must satisfy the subsystem's acceptance properties —
+// the bandit beats Random on every benchmark, the trained predictor
+// recovers a substantial share of the LRU→Belady miss headroom, and
+// training is a pure function of the capture and the seed.
+package mlpcache
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"mlpcache/internal/experiments"
+	"mlpcache/internal/learn"
+	"mlpcache/internal/metrics"
+	"mlpcache/internal/oracle"
+	"mlpcache/internal/sim"
+	"mlpcache/internal/workload"
+)
+
+// parseLearnedCatalog reads docs/LEARNED.md's metric table (same row
+// format as docs/OBSERVABILITY.md, so the shared regex applies).
+func parseLearnedCatalog(t *testing.T) map[string]metrics.Kind {
+	t.Helper()
+	raw, err := os.ReadFile("docs/LEARNED.md")
+	if err != nil {
+		t.Fatalf("reading contract doc: %v", err)
+	}
+	kinds := map[string]metrics.Kind{
+		"counter": metrics.KindCounter,
+		"gauge":   metrics.KindGauge,
+	}
+	doc := map[string]metrics.Kind{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := catalogRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, second := m[1], strings.TrimSpace(m[2])
+		k, ok := kinds[second]
+		if !ok {
+			continue // prose tables (the arm-rule table has no kind column)
+		}
+		if _, dup := doc[name]; dup {
+			t.Errorf("doc lists metric %q twice", name)
+		}
+		doc[name] = k
+	}
+	if len(doc) == 0 {
+		t.Fatal("catalog parse found no metrics — table format changed?")
+	}
+	return doc
+}
+
+// TestLearnedCatalogMatchesEmission checks docs/LEARNED.md against a
+// live bandit run in both directions: every documented learn.* metric
+// is registered, every registered learn.* metric is documented, kinds
+// match. (The run's ordinary families are covered by
+// docs/OBSERVABILITY.md and its own contract test.)
+func TestLearnedCatalogMatchesEmission(t *testing.T) {
+	doc := parseLearnedCatalog(t)
+	emitted := map[string]metrics.Kind{}
+	for _, s := range learnRegistry(t).Samples() {
+		if !strings.HasPrefix(s.Name, "learn.") {
+			continue
+		}
+		emitted[s.Name] = s.Kind
+	}
+	for name, kind := range doc {
+		got, ok := emitted[name]
+		if !ok {
+			t.Errorf("documented metric %q never registered by a learned run", name)
+			continue
+		}
+		if got != kind {
+			t.Errorf("metric %q: doc says %s, registry says %s", name, kind, got)
+		}
+	}
+	for name := range emitted {
+		if _, ok := doc[name]; !ok {
+			t.Errorf("registered metric %q missing from docs/LEARNED.md", name)
+		}
+	}
+}
+
+// TestTrainingDeterministic runs the full capture → train pipeline and
+// checks the model-file promise from docs/LEARNED.md: the same capture
+// and seed produce a byte-identical model, and the seed actually salts
+// the signatures.
+func TestTrainingDeterministic(t *testing.T) {
+	w, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("unknown benchmark mcf")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = 200_000
+	cap := oracle.NewCapture()
+	cfg.Capture = cap
+	sim.MustRun(cfg, w.Build(42))
+	sets, err := cfg.L2.SetCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := learn.TrainConfig{Sets: sets, Assoc: cfg.L2.Assoc, Seed: 7}
+	a, err := learn.Train(cap.Log().TrainingSamples(), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := learn.Train(cap.Log().TrainingSamples(), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Error("same capture and seed produced different model bytes")
+	}
+	if a.Trained() == 0 {
+		t.Error("training populated no signatures")
+	}
+	tc.Seed = 8
+	c, err := learn.Train(cap.Log().TrainingSamples(), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Encode(), c.Encode()) {
+		t.Error("different seeds produced byte-identical models")
+	}
+}
+
+// TestLearnedHeadroomAcceptance runs the learned-headroom experiment at
+// the full default budget on six benchmarks — including the ones where
+// the bandit's margin over Random is thinnest — and checks the
+// subsystem's acceptance properties: the bandit beats Random on every
+// row, the predictor never beats Belady (the replay would be broken),
+// and at least one benchmark recovers ≥ 25% of the miss headroom.
+func TestLearnedHeadroomAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := experiments.NewRunner(3_000_000, 42)
+	r.Benchmarks = []string{"art", "twolf", "ammp", "galgel", "bzip2", "parser"}
+	res := experiments.LearnedHeadroom(r)
+	if len(res.Rows) != len(r.Benchmarks) {
+		t.Fatalf("headroom table has %d rows, want %d", len(res.Rows), len(r.Benchmarks))
+	}
+	best := 0.0
+	for _, row := range res.Rows {
+		if row.Accesses == 0 {
+			t.Errorf("%s: empty capture", row.Bench)
+		}
+		if row.BanditMiss >= row.RandomMiss {
+			t.Errorf("%s: bandit's %d misses do not beat Random's %d",
+				row.Bench, row.BanditMiss, row.RandomMiss)
+		}
+		if row.OPTMiss > row.LRUMiss {
+			t.Errorf("%s: Belady %d misses exceeds replayed LRU's %d",
+				row.Bench, row.OPTMiss, row.LRUMiss)
+		}
+		if row.LearnedMiss < row.OPTMiss {
+			t.Errorf("%s: predictor's %d misses beat Belady's %d — replay broken",
+				row.Bench, row.LearnedMiss, row.OPTMiss)
+		}
+		if row.TrainedSignatures == 0 {
+			t.Errorf("%s: training populated no signatures", row.Bench)
+		}
+		if row.RecoveredPct > best {
+			best = row.RecoveredPct
+		}
+	}
+	if best < 25 {
+		t.Errorf("best miss-headroom recovery is %.1f%%, want >= 25%%", best)
+	}
+}

@@ -190,6 +190,21 @@ func multicoreRegistry(t testing.TB) *metrics.Registry {
 	return res.Metrics()
 }
 
+// learnRegistry returns the registry of the covering learned run — a
+// bandit simulation, whose Stats populate every field observeLearn
+// exports, so the full learn.* family (docs/LEARNED.md) registers.
+func learnRegistry(t testing.TB) *metrics.Registry {
+	t.Helper()
+	w, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("unknown benchmark mcf")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = 120_000
+	cfg.Policy = sim.PolicySpec{Kind: sim.PolicyBandit, Seed: 42}
+	return sim.MustRun(cfg, w.Build(42)).Metrics()
+}
+
 // serviceRegistry returns the sweep-service daemon's service.* family —
 // what mlpserve's GET /metrics renders. Every service metric registers
 // on any snapshot (zero-valued counters included), so no jobs need run.
@@ -220,6 +235,10 @@ func TestMetricCatalogMatchesEmission(t *testing.T) {
 	// registered by mlpsim -oracle via oracle.Comparison.Observe; a
 	// captured run covers them.
 	for _, s := range oracleRegistry(t).Samples() {
+		emitted[s.Name] = s.Kind
+	}
+	// The learned-policy family (mlpsim -policy bandit/learned): learn.*.
+	for _, s := range learnRegistry(t).Samples() {
 		emitted[s.Name] = s.Kind
 	}
 	// The sweep-service daemon's service.* family (mlpserve /metrics).

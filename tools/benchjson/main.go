@@ -65,7 +65,7 @@ import (
 
 // benchPattern selects the perf-trajectory suite; bench-smoke separately
 // guards that the observability and oracle benchmarks keep existing.
-const benchPattern = "BenchmarkSimulatorThroughput|BenchmarkMulticoreThroughput|BenchmarkObservability|BenchmarkTracingV2|BenchmarkOracleHeadroom|BenchmarkGeneratorThroughput|BenchmarkTraceEncode|BenchmarkServiceThroughput"
+const benchPattern = "BenchmarkSimulatorThroughput|BenchmarkMulticoreThroughput|BenchmarkObservability|BenchmarkTracingV2|BenchmarkLearnedEviction|BenchmarkOracleHeadroom|BenchmarkGeneratorThroughput|BenchmarkTraceEncode|BenchmarkServiceThroughput"
 
 // The relational allocation gate: v2-traced runs must stay within this
 // factor of the untraced run's allocs/op (the binary tracer's Emit path
@@ -74,6 +74,16 @@ const (
 	tracingOffBench = "BenchmarkTracingV2/off"
 	tracingV2Bench  = "BenchmarkTracingV2/v2"
 	tracingV2Factor = 2.0
+)
+
+// The learned-policy allocation gate (docs/LEARNED.md): the bandit and
+// predictor victim paths rank on the shared scratch, so their runs'
+// allocs/op must stay within this factor of the LRU baseline's.
+const (
+	learnedLRUBench     = "BenchmarkLearnedEviction/lru"
+	learnedBanditBench  = "BenchmarkLearnedEviction/bandit"
+	learnedPredBench    = "BenchmarkLearnedEviction/learned"
+	learnedAllocsFactor = 1.5
 )
 
 // Sample is one benchmark's aggregated figures. Only the units the
@@ -381,6 +391,24 @@ func doCompare(baseline string, count int, benchtime string, threshold, allocThr
 	default:
 		fmt.Fprintf(os.Stderr, "%-45s allocs/op %12.0f vs %9.0f untraced (gate %.0fx) ok\n",
 			tracingV2Bench, v2.AllocsPerOp, off.AllocsPerOp, tracingV2Factor)
+	}
+	// Same discipline for the learned victim paths: bandit and predictor
+	// runs must allocate like the LRU baseline, judged on the current run.
+	lruRun, haveLRU := current[learnedLRUBench]
+	for _, name := range []string{learnedBanditBench, learnedPredBench} {
+		pol, havePol := current[name]
+		switch {
+		case !haveLRU || !havePol:
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s: learned-eviction benchmarks missing from the suite", learnedLRUBench, name))
+		case lruRun.AllocsPerOp > 0 && pol.AllocsPerOp > learnedAllocsFactor*lruRun.AllocsPerOp:
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op %.0f exceeds %.1fx LRU (%s at %.0f)",
+				name, pol.AllocsPerOp, learnedAllocsFactor, learnedLRUBench, lruRun.AllocsPerOp))
+		default:
+			fmt.Fprintf(os.Stderr, "%-45s allocs/op %12.0f vs %9.0f lru (gate %.1fx) ok\n",
+				name, pol.AllocsPerOp, lruRun.AllocsPerOp, learnedAllocsFactor)
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("performance regression:\n  %s", strings.Join(failures, "\n  "))

@@ -1,11 +1,15 @@
-// Command lint enforces two repo conventions that go vet cannot
-// express, using only go/parser and go/ast (no third-party linters):
+// Command lint enforces repo conventions that go vet cannot express,
+// using only go/parser and go/ast (no third-party linters):
 //
 //   - -docs: every package under internal/ and cmd/ (and the root
 //     package) carries a package comment, and every internal package
 //     comment anchors the code to the paper with at least one
 //     "Section N" / "Figure N" / "Table N" / "Algorithm N" reference,
 //     so godoc always says which part of the paper a package models.
+//     Additionally, every `learn.*` metric registered in internal/sim
+//     must be catalogued (backticked) in docs/LEARNED.md and
+//     docs/OBSERVABILITY.md, so the learned-policy metric family
+//     cannot grow undocumented names.
 //   - -stdout: no CLI sends telemetry to stdout. Reports belong on
 //     stdout; metric and event JSONL documents belong in files (the
 //     docs/OBSERVABILITY.md contract), so passing os.Stdout to
@@ -45,6 +49,7 @@ func main() {
 	var problems []string
 	if *docs {
 		problems = append(problems, checkDocs()...)
+		problems = append(problems, checkLearnMetricsDocumented()...)
 	}
 	if *stdout {
 		problems = append(problems, checkStdout()...)
@@ -135,6 +140,74 @@ func checkDocs() []string {
 		case strings.HasPrefix(dir, "internal"+string(filepath.Separator)) && !anchorRE.MatchString(doc):
 			problems = append(problems, fmt.Sprintf(
 				"%s: package comment cites no paper anchor (Section/Figure/Table/Algorithm N)", dir))
+		}
+	}
+	return problems
+}
+
+// checkLearnMetricsDocumented collects every string-literal metric name
+// starting with "learn." passed to a Counter/Gauge registration inside
+// internal/sim and requires each to appear backticked in both
+// docs/LEARNED.md and docs/OBSERVABILITY.md. (The contract tests check
+// the emitted set at runtime; this check catches a new registration at
+// lint time, before any simulation runs.)
+func checkLearnMetricsDocumented() []string {
+	var problems []string
+	registrars := map[string]bool{"Counter": true, "Gauge": true}
+	names := map[string]token.Position{}
+	err := filepath.WalkDir(filepath.Join("internal", "sim"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registrars[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name := strings.Trim(lit.Value, "`\"")
+			if strings.HasPrefix(name, "learn.") {
+				names[name] = fset.Position(lit.Pos())
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return []string{fmt.Sprintf("lint: %v", err)}
+	}
+	docPaths := []string{filepath.Join("docs", "LEARNED.md"), filepath.Join("docs", "OBSERVABILITY.md")}
+	bodies := make([]string, len(docPaths))
+	for i, doc := range docPaths {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			return []string{fmt.Sprintf("lint: %v", err)}
+		}
+		bodies[i] = string(raw)
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		for i, doc := range docPaths {
+			if !strings.Contains(bodies[i], "`"+name+"`") {
+				problems = append(problems, fmt.Sprintf(
+					"%s: metric %q is not catalogued in %s", names[name], name, doc))
+			}
 		}
 	}
 	return problems
