@@ -176,6 +176,46 @@ func TestCLIEndToEnd(t *testing.T) {
 		}
 	})
 
+	t.Run("mlpsim-parallel-single-core-fails", func(t *testing.T) {
+		out := mustFailCleanly(t, "mlpsim", "-bench", "mcf",
+			"-parallel", "on", "-n", "1000")
+		if !strings.Contains(out, "-parallel on") || !strings.Contains(out, "-cores") {
+			t.Fatalf("diagnostic does not name the conflicting flags:\n%s", out)
+		}
+		if strings.Count(strings.TrimSpace(out), "\n") > 1 {
+			t.Fatalf("diagnostic is not a one-liner:\n%s", out)
+		}
+	})
+
+	t.Run("mlpsim-parallel-audit-fails", func(t *testing.T) {
+		out := mustFailCleanly(t, "mlpsim", "-bench", "mcf,art", "-cores", "2",
+			"-parallel", "on", "-audit", "-n", "1000")
+		if !strings.Contains(out, "-parallel on") || !strings.Contains(out, "-audit") {
+			t.Fatalf("diagnostic does not name the conflicting flags:\n%s", out)
+		}
+	})
+
+	t.Run("mlpsim-parallel-bad-mode-fails", func(t *testing.T) {
+		out := mustFailCleanly(t, "mlpsim", "-bench", "mcf,art", "-cores", "2",
+			"-parallel", "sometimes", "-n", "1000")
+		if !strings.Contains(out, "sometimes") {
+			t.Fatalf("diagnostic does not echo the bad mode:\n%s", out)
+		}
+	})
+
+	t.Run("mlpsim-parallel-matches-serial", func(t *testing.T) {
+		// The determinism contract at the process boundary: the forced
+		// parallel engine must print byte-identical reports to the serial
+		// interleave.
+		args := []string{"-bench", "mcf,art", "-cores", "2", "-policy", "sbar",
+			"-n", "60000", "-hist=false"}
+		serial := runTool(t, dir, "mlpsim", append([]string{"-parallel", "off"}, args...)...)
+		par := runTool(t, dir, "mlpsim", append([]string{"-parallel", "on"}, args...)...)
+		if par != serial {
+			t.Fatalf("parallel report diverges from serial:\nserial:\n%s\nparallel:\n%s", serial, par)
+		}
+	})
+
 	t.Run("mlpsim-audited-run", func(t *testing.T) {
 		out := runTool(t, dir, "mlpsim", "-bench", "micro.figure1",
 			"-policy", "sbar", "-n", "120000", "-audit", "-hist=false")

@@ -144,6 +144,20 @@ func (t *Table[V]) Delete(block uint64) bool {
 	}
 }
 
+// Reset empties the table in place. The backing arrays keep their
+// current size, so a reused table pays neither the initial allocation
+// nor the regrowth it already amortized (sim.Arena pools tables across
+// runs this way).
+func (t *Table[V]) Reset() {
+	if t.n == 0 {
+		return // Put/Delete keep used[] exact, so an empty table is clean
+	}
+	clear(t.blocks)
+	clear(t.vals)
+	clear(t.used)
+	t.n = 0
+}
+
 // Range calls f for every entry until f returns false. Iteration order
 // is the table's physical slot order — deterministic for a given history
 // but otherwise unspecified, like a hardware CAM scan.

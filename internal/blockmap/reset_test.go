@@ -1,0 +1,49 @@
+package blockmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestResetMatchesFresh drives a reset table and a fresh one with the
+// same operation stream and demands identical observable state — the
+// arena's reuse contract. The reset table keeps its grown backing, so
+// the stream also verifies that stale buckets never resurface.
+func TestResetMatchesFresh(t *testing.T) {
+	used := New[int](4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		used.Put(uint64(rng.Intn(4096)), i)
+		if rng.Intn(3) == 0 {
+			used.Delete(uint64(rng.Intn(4096)))
+		}
+	}
+	used.Reset()
+	if used.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", used.Len())
+	}
+
+	fresh := New[int](4)
+	rng = rand.New(rand.NewSource(2))
+	for i := 0; i < 10_000; i++ {
+		block := uint64(rng.Intn(512))
+		switch rng.Intn(4) {
+		case 0, 1:
+			used.Put(block, i)
+			fresh.Put(block, i)
+		case 2:
+			if got, want := used.Delete(block), fresh.Delete(block); got != want {
+				t.Fatalf("op %d: Delete(%#x) = %v on reset table, %v on fresh", i, block, got, want)
+			}
+		case 3:
+			gv, gok := used.Get(block)
+			wv, wok := fresh.Get(block)
+			if gv != wv || gok != wok {
+				t.Fatalf("op %d: Get(%#x) = (%v, %v) on reset table, (%v, %v) on fresh", i, block, gv, gok, wv, wok)
+			}
+		}
+		if used.Len() != fresh.Len() {
+			t.Fatalf("op %d: Len = %d on reset table, %d on fresh", i, used.Len(), fresh.Len())
+		}
+	}
+}

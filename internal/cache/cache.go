@@ -172,6 +172,12 @@ func New(cfg Config, policy Policy) *Cache {
 // Config returns the cache's geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
+// CustomIndex reports whether the cache was built with a caller-supplied
+// block→set mapping (sampled ATDs). Pools that match caches by geometry
+// use it to exclude such caches: two custom indexers with equal
+// Sets/Assoc/BlockBytes need not place blocks the same way.
+func (c *Cache) CustomIndex() bool { return c.customIndex }
+
 // Policy returns the replacement policy in use.
 func (c *Cache) Policy() Policy { return c.policy }
 
@@ -343,6 +349,21 @@ func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
 
 // ResetStats zeroes the access counters without touching contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Reset returns the cache to its just-built state in place: every line
+// invalidated, the counters and the recency/fill sequence zeroed, and
+// the given replacement policy installed (nil installs plain LRU, the
+// same default New applies). The backing line array is reused, so a
+// pooled cache costs no allocation on its next run (sim.Arena).
+func (c *Cache) Reset(policy Policy) {
+	clear(c.lines)
+	c.seq = 0
+	c.stats = Stats{}
+	if policy == nil {
+		policy = NewLRU()
+	}
+	c.policy = policy
+}
 
 // ViewSet returns a view of the given set — the same object Policy
 // implementations receive. Tools and tests use it to inspect cache

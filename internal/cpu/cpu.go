@@ -227,6 +227,38 @@ func New(cfg Config, mem MemSystem, src trace.Source) *CPU {
 	return c
 }
 
+// Reset returns the core to just-built state executing src against mem,
+// recycling the ROB ring, store buffer and event-heap backings — the
+// arena's reuse contract. Stale ROB entries are safe to keep: fetch
+// fully overwrites a slot before any stage reads it. A configured
+// branch predictor is rebuilt fresh (its tables are run state).
+func (c *CPU) Reset(cfg Config, mem MemSystem, src trace.Source) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if mem == nil || src == nil {
+		panic(simerr.New(simerr.ErrBadConfig, "cpu: need a memory system and a source"))
+	}
+	rob := c.rob
+	if len(rob) != cfg.ROBEntries {
+		rob = make([]robEntry, cfg.ROBEntries)
+	}
+	var pred *bpred.Predictor
+	if cfg.BranchPredictor != nil {
+		pred = bpred.New(*cfg.BranchPredictor)
+	}
+	*c = CPU{
+		cfg:       cfg,
+		mem:       mem,
+		src:       src,
+		rob:       rob,
+		blockedG:  noBranch,
+		storeDone: c.storeDone[:0],
+		events:    c.events[:0],
+		predictor: pred,
+	}
+}
+
 // PredictorStats returns the live predictor's counters (zero value when
 // running in oracle mode).
 func (c *CPU) PredictorStats() bpred.Stats {
@@ -291,10 +323,13 @@ func (c *CPU) NoteSkipped(n uint64) {
 	if c.inMemStall {
 		c.stats.MemStallCycles += n
 	}
-	if c.count == len(c.rob) {
-		c.stats.FullWindowCycles += n
-	} else if c.blockedG != noBranch {
+	// Attribution order mirrors fetch exactly (blocked front end before
+	// full window), so a skipped stall cycle accrues the same counter a
+	// burned one would.
+	if c.blockedG != noBranch {
 		c.stats.FetchMispredictCycles += n
+	} else if c.count == len(c.rob) {
+		c.stats.FullWindowCycles += n
 	}
 }
 
@@ -444,7 +479,11 @@ func (c *CPU) issue(now uint64) {
 			memIssued++
 			done, ok := c.mem.Access(e.in.Addr, false, now)
 			if !ok {
+				// A rejected access still mutates state (reject counters,
+				// L2 probe stats), so the cycle counts as work: fast-forward
+				// must not skip retry cycles a burned loop would execute.
 				c.stats.MSHRRejects++
+				c.didWork = true
 				continue // retry on a later cycle
 			}
 			c.complete(e, done)
@@ -453,13 +492,17 @@ func (c *CPU) issue(now uint64) {
 				continue
 			}
 			if len(c.storeDone) >= c.cfg.StoreBufferEntries {
+				// The full-buffer event accrues per executed cycle, so the
+				// cycle counts as work for the same reason a reject does.
 				c.stats.StoreBufferFullEvents++
+				c.didWork = true
 				continue // window blocks only when the buffer is full
 			}
 			memIssued++
 			done, ok := c.mem.Access(e.in.Addr, true, now)
 			if !ok {
 				c.stats.MSHRRejects++
+				c.didWork = true
 				continue
 			}
 			// The store retires from the window immediately; the

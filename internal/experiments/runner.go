@@ -88,6 +88,14 @@ type Runner struct {
 	firstErr error
 	// outMu serializes Trace/OnResult emission across worker goroutines.
 	outMu sync.Mutex
+	// arenaMu guards arenas, the free list of simulation arenas. An
+	// arena is not safe for concurrent use, so each simulate call checks
+	// one out exclusively and returns it when the run finishes; the list
+	// therefore never grows past the worker-pool width, and every run
+	// after the first warm-up draws its caches, MSHR files and blockmap
+	// tables from recycled storage instead of the heap.
+	arenaMu sync.Mutex
+	arenas  []*sim.Arena
 }
 
 // runEntry is one memoized simulation: the result, plus the captured
@@ -290,6 +298,46 @@ func (r *Runner) fail(err error) {
 	panic(err)
 }
 
+// getArena checks an arena out of the free list, building one when the
+// list is empty (cold start, or more workers than past peak).
+func (r *Runner) getArena() *sim.Arena {
+	r.arenaMu.Lock()
+	defer r.arenaMu.Unlock()
+	if n := len(r.arenas); n > 0 {
+		a := r.arenas[n-1]
+		r.arenas = r.arenas[:n-1]
+		return a
+	}
+	return sim.NewArena()
+}
+
+// putArena returns an arena for the next run to reuse.
+func (r *Runner) putArena(a *sim.Arena) {
+	r.arenaMu.Lock()
+	r.arenas = append(r.arenas, a)
+	r.arenaMu.Unlock()
+}
+
+// ArenaStats sums recycling counters across the runner's arena pool;
+// mlpexp reports them after a suite so the reuse rate is visible.
+func (r *Runner) ArenaStats() sim.ArenaStats {
+	r.arenaMu.Lock()
+	defer r.arenaMu.Unlock()
+	var total sim.ArenaStats
+	for _, a := range r.arenas {
+		s := a.Stats()
+		total.CacheReuses += s.CacheReuses
+		total.CacheBuilds += s.CacheBuilds
+		total.MSHRReuses += s.MSHRReuses
+		total.MSHRBuilds += s.MSHRBuilds
+		total.CPUReuses += s.CPUReuses
+		total.CPUBuilds += s.CPUBuilds
+		total.TableReuses += s.TableReuses
+		total.TableBuilds += s.TableBuilds
+	}
+	return total
+}
+
 // bufTracer collects one concurrent run's events for contiguous replay.
 type bufTracer struct{ events []metrics.Event }
 
@@ -312,6 +360,13 @@ func (r *Runner) simulate(bench string, spec sim.PolicySpec, interval, epoch uin
 	cfg.SampleInterval = interval
 	cfg.EpochInstructions = epoch
 	cfg.Capture = capture
+
+	// Recycle bulk simulator state across the suite's many runs. The
+	// arena is held exclusively for the duration of this run, so the
+	// worker pool never shares one concurrently.
+	arena := r.getArena()
+	defer r.putArena(arena)
+	cfg.Arena = arena
 
 	trace := r.Trace
 	onResult := r.OnResult

@@ -129,6 +129,25 @@ func New(cfg Config) *MSHR {
 // Exact reports whether the exact (event-driven) cost update is in use.
 func (m *MSHR) Exact() bool { return m.cfg.Adders <= 0 }
 
+// Reset returns the file to its just-built state in place: all entries
+// invalidated, the block index emptied, the cost clock, round-robin
+// pointer, peak gauge and lifetime counters zeroed, and any SetCapacity
+// throttle lifted. The entry array and index storage are reused, so a
+// pooled file costs no allocation on its next run (sim.Arena).
+func (m *MSHR) Reset() {
+	clear(m.entries)
+	m.index.Reset()
+	m.capacity = m.cfg.Entries
+	m.demand = 0
+	m.rr = 0
+	m.clock = 0
+	m.clockAt = 0
+	m.Peak = 0
+	m.allocations = 0
+	m.merges = 0
+	m.rejects = 0
+}
+
 // advanceClock brings the exact-mode cost clock up to the given cycle.
 // Between events N is constant, so the clock advances by elapsed/N.
 func (m *MSHR) advanceClock(cycle uint64) {

@@ -1,0 +1,60 @@
+package mshr
+
+import (
+	"testing"
+)
+
+// driveMSHR runs a deterministic allocate/tick/free pattern and returns
+// the observed costs plus the final stats block.
+func driveMSHR(t *testing.T, m *MSHR) ([]float64, Stats) {
+	t.Helper()
+	var costs []float64
+	for round := uint64(0); round < 8; round++ {
+		base := round * 1000
+		for b := uint64(0); b < 8; b++ {
+			m.Allocate(base+b, b%2 == 0, base+b)
+		}
+		for c := base; c < base+500; c++ {
+			m.Tick(c)
+		}
+		for b := uint64(0); b < 8; b++ {
+			costs = append(costs, free(t, m, base+b, base+500+b))
+		}
+	}
+	return costs, m.Stats()
+}
+
+// TestResetMatchesFresh is the arena's reuse contract: a Reset MSHR file
+// must reproduce a just-built one — same costs from the shared cost
+// clock, same occupancy accounting, same stats — under both the exact
+// and the adder-approximated clock.
+func TestResetMatchesFresh(t *testing.T) {
+	for _, cfg := range []Config{{Entries: 16}, {Entries: 16, Adders: 4}} {
+		fresh := New(cfg)
+		wantCosts, wantStats := driveMSHR(t, fresh)
+
+		used := New(cfg)
+		driveMSHR(t, used)
+		used.Allocate(42, true, 1) // leave an entry live so Reset must clear it
+		used.Reset()
+		if used.Len() != 0 {
+			t.Fatalf("Len = %d after Reset, want 0", used.Len())
+		}
+		if used.Pending(42) {
+			t.Fatal("entry survived Reset")
+		}
+		gotCosts, gotStats := driveMSHR(t, used)
+
+		if len(gotCosts) != len(wantCosts) {
+			t.Fatalf("cost count diverges after Reset: %d vs %d", len(gotCosts), len(wantCosts))
+		}
+		for i := range gotCosts {
+			if gotCosts[i] != wantCosts[i] {
+				t.Fatalf("cost %d diverges after Reset: %v vs %v", i, gotCosts[i], wantCosts[i])
+			}
+		}
+		if gotStats != wantStats {
+			t.Fatalf("stats diverge after Reset: got %+v, want %+v", gotStats, wantStats)
+		}
+	}
+}

@@ -19,8 +19,10 @@ const flipBitsSkip = 8
 
 // compute executes the job's simulation(s) and renders the response
 // body. Cancellation flows through ctx into sim.RunContext's
-// cooperative check.
-func (s *Server) compute(ctx context.Context, j Job) ([]byte, error) {
+// cooperative check. arena is the calling worker's private component
+// pool (rescache.Do runs this closure on the winning caller's own
+// goroutine, so exclusivity holds even under singleflight).
+func (s *Server) compute(ctx context.Context, j Job, arena *sim.Arena) ([]byte, error) {
 	if j.Experiment != "" {
 		return s.computeExperiment(ctx, j)
 	}
@@ -33,6 +35,7 @@ func (s *Server) compute(ctx context.Context, j Job) ([]byte, error) {
 	cfg := sim.DefaultConfig()
 	cfg.MaxInstructions = j.Instructions
 	cfg.Policy = j.spec()
+	cfg.Arena = arena
 	if s.cfg.Chaos.DRAMJitterMax > 0 {
 		cfg.Faults = &faultinject.Plan{
 			Seed:          s.cfg.Chaos.Seed ^ j.Seed,

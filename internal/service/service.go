@@ -23,6 +23,7 @@ import (
 	"mlpcache/internal/faultinject"
 	"mlpcache/internal/metrics"
 	"mlpcache/internal/rescache"
+	"mlpcache/internal/sim"
 	"mlpcache/internal/simerr"
 )
 
@@ -339,14 +340,19 @@ func (s *Server) releaseClient(client string) {
 }
 
 // worker pulls tasks until the drain machinery stops the pool. Every
-// dequeued task gets exactly one Outcome.
+// dequeued task gets exactly one Outcome. Each worker owns a private
+// simulation arena for the lifetime of the pool, so sustained traffic
+// recycles cache arrays, MSHR files and blockmap tables instead of
+// rebuilding them per job; a panicking job never poisons the arena
+// because components are only pooled on clean simulation exit.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
+	arena := sim.NewArena()
 	for {
 		select {
 		case t := <-s.queue:
 			s.inflight.Add(1)
-			out := s.execute(t)
+			out := s.execute(t, arena)
 			s.inflight.Add(-1)
 			t.release()
 			s.releaseClient(t.job.Client)
@@ -361,7 +367,7 @@ func (s *Server) worker() {
 // execute runs one task to a terminal outcome: success, typed failure,
 // cancellation, or retried success — with the worker's recover boundary
 // converting any panic into simerr.ErrInternal for this job alone.
-func (s *Server) execute(t *task) (out Outcome) {
+func (s *Server) execute(t *task, arena *sim.Arena) (out Outcome) {
 	attempt := 0
 	defer func() {
 		if r := recover(); r != nil {
@@ -378,7 +384,7 @@ func (s *Server) execute(t *task) (out Outcome) {
 			s.cancelled.Add(1)
 			return Outcome{Err: simerr.Wrap(simerr.ErrCancelled, err, "service: job cancelled"), Retries: attempt}
 		}
-		body, ctype, err := s.runOnce(t)
+		body, ctype, err := s.runOnce(t, arena)
 		if err == nil {
 			s.completed.Add(1)
 			return Outcome{Body: body, ContentType: ctype, Retries: attempt}
@@ -413,7 +419,7 @@ func (s *Server) execute(t *task) (out Outcome) {
 
 // runOnce is one attempt: chaos draws first (so retries see fresh
 // draws), then the cached or direct compute.
-func (s *Server) runOnce(t *task) ([]byte, string, error) {
+func (s *Server) runOnce(t *task, arena *sim.Arena) ([]byte, string, error) {
 	if fail, pan := s.chaosDraw(); fail {
 		return nil, "", fmt.Errorf("service: chaos: %w", ErrTransient)
 	} else if pan {
@@ -422,11 +428,11 @@ func (s *Server) runOnce(t *task) ([]byte, string, error) {
 	ctype := contentType(t.job)
 	if s.cache != nil && cacheable(t.job) {
 		body, err := s.cache.Do(t.ctx, t.job.Key(), func() ([]byte, error) {
-			return s.compute(t.ctx, t.job)
+			return s.compute(t.ctx, t.job, arena)
 		})
 		return body, ctype, err
 	}
-	body, err := s.compute(t.ctx, t.job)
+	body, err := s.compute(t.ctx, t.job, arena)
 	return body, ctype, err
 }
 

@@ -221,16 +221,17 @@ func newMemSystem(cfg Config, l2 *cache.Cache, hybrid core.Hybrid, inj *faultinj
 	m := &memSystem{
 		cfg:      cfg,
 		inj:      inj,
-		l1:       cache.New(cfg.L1, cache.NewLRU()),
+		l1:       cfg.Arena.getCache(cfg.L1, cache.NewLRU()),
 		l2:       l2,
-		mshr:     mshr.New(cfg.MSHR),
+		mshr:     cfg.Arena.getMSHR(cfg.MSHR),
 		dram:     dram.New(cfg.DRAM),
 		hybrid:   hybrid,
-		inflight: blockmap.New[*fill](cfg.MSHR.Entries),
-		tracked:  blockmap.New[blockInfo](256),
+		inflight: cfg.Arena.getSingleTable(cfg.MSHR.Entries),
+		tracked:  cfg.Arena.getTrackedTable(256),
 		costHist: stats.NewHistogram(60, 8),
 		capture:  cfg.Capture,
 	}
+	m.fills.h, m.fillFree = cfg.Arena.getSingleFills()
 	if cfg.Prefetch != nil {
 		m.pf = prefetch.New(*cfg.Prefetch)
 	}

@@ -116,27 +116,45 @@ type corePort struct {
 	mstats   MemStats // per-core counters (prefetch fields stay zero)
 	costSum  float64  // summed mlp-cost over this core's serviced misses
 	costHist *stats.Histogram
+
+	// fillDue is set by accessL2 to the service cycle of the fill this
+	// core just started waiting on (a primary miss or a cross-core
+	// merge), and zero otherwise. The parallel engine reads it after
+	// each access to schedule its fill barriers; the serial engine
+	// ignores it.
+	fillDue uint64
 }
 
-// Access implements cpu.MemSystem for one core. It mirrors
+// Access implements cpu.MemSystem for one core: the private L1 probe,
+// then the shared-L2 path. The split matters to the parallel engine,
+// which wraps accessL2 in its ordering protocol while L1 hits stay
+// lock-free; the serial engine's behaviour is unchanged.
+func (p *corePort) Access(addr uint64, write bool, now uint64) (uint64, bool) {
+	if p.l1.Probe(addr, write) {
+		return now + p.m.cfg.L1Lat, true
+	}
+	return p.accessL2(addr, write, now)
+}
+
+// accessL2 is the shared-state half of an access. It mirrors
 // memSystem.Access step for step (so a one-core run is bit-identical to
 // the single-core engine) with the capture, prefetch and fault-injection
 // branches — all rejected by RunMulti's validation — removed, and one
 // addition: a miss on a block another core already has in flight
 // allocates a primary entry in this core's own MSHR and joins the fill's
 // sharer set, so the waiting thread pays its own cost clock for the
-// overlap (a cross-core merge).
-func (p *corePort) Access(addr uint64, write bool, now uint64) (uint64, bool) {
+// overlap (a cross-core merge). In a parallel run the caller holds the
+// engine's commit lock and has established this access's serial
+// position (docs/MULTICORE.md "Determinism contract").
+func (p *corePort) accessL2(addr uint64, write bool, now uint64) (uint64, bool) {
 	m := p.m
+	p.fillDue = 0
 	if m.tr != nil {
 		m.tr.now = now
 		m.tr.tid = p.tid
 	}
 	if m.sbar != nil {
 		m.sbar.SetThread(p.tid)
-	}
-	if p.l1.Probe(addr, write) {
-		return now + m.cfg.L1Lat, true
 	}
 	l2Hit := m.l2.Probe(addr, false)
 	block := m.l2.BlockOf(addr)
@@ -172,6 +190,7 @@ func (p *corePort) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 		if m.hybrid != nil {
 			m.hybrid.OnAccess(addr, write, false, false)
 		}
+		p.fillDue = f.done
 		return f.done, true
 	}
 	if p.mshr.Full() {
@@ -190,6 +209,7 @@ func (p *corePort) Access(addr uint64, write bool, now uint64) (uint64, bool) {
 	f := m.newFill(done, addr, write, p.tid)
 	m.inflight.Put(block, f)
 	m.fills.Push(f)
+	p.fillDue = done
 	return done, true
 }
 
@@ -255,10 +275,11 @@ func newMultiMemSystem(cfg Config, l2 *cache.Cache, hybrid core.Hybrid, cores in
 		l2:       l2,
 		dram:     dram.New(cfg.DRAM),
 		hybrid:   hybrid,
-		inflight: blockmap.New[*multiFill](cores * cfg.MSHR.Entries),
-		tracked:  blockmap.New[blockInfo](256),
+		inflight: cfg.Arena.getMultiTable(cores * cfg.MSHR.Entries),
+		tracked:  cfg.Arena.getTrackedTable(256),
 		costHist: stats.NewHistogram(60, 8),
 	}
+	m.fills.h, m.fillFree = cfg.Arena.getMultiFills()
 	if s, ok := hybrid.(*core.SBAR); ok && s.Threads() > 1 {
 		m.sbar = s
 	}
@@ -266,14 +287,20 @@ func newMultiMemSystem(cfg Config, l2 *cache.Cache, hybrid core.Hybrid, cores in
 		m.tr = &multiTracer{dst: cfg.Trace}
 		attachTracer(l2, hybrid, m.tr)
 	}
+	// One batch allocation for the port structs themselves; the slice of
+	// pointers keeps every exported surface unchanged.
+	backing := make([]corePort, cores)
+	m.ports = make([]*corePort, cores)
 	for i := 0; i < cores; i++ {
-		m.ports = append(m.ports, &corePort{
+		p := &backing[i]
+		*p = corePort{
 			m:        m,
 			tid:      i,
-			l1:       cache.New(cfg.L1, cache.NewLRU()),
-			mshr:     mshr.New(cfg.MSHR),
+			l1:       cfg.Arena.getCache(cfg.L1, cache.NewLRU()),
+			mshr:     cfg.Arena.getMSHR(cfg.MSHR),
 			costHist: stats.NewHistogram(60, 8),
-		})
+		}
+		m.ports[i] = p
 	}
 	return m
 }
@@ -488,6 +515,11 @@ type MultiResult struct {
 	PselValues []int
 	// Audit is non-nil when Config.Audit was set.
 	Audit *audit.Report
+	// Parallel is non-nil when the parallel engine ran (Config.Parallel,
+	// docs/MULTICORE.md "Determinism contract"). It carries only
+	// schedule-independent counters, so two parallel runs of the same
+	// configuration produce DeepEqual results.
+	Parallel *ParallelStats
 }
 
 // Instructions returns total retired instructions across cores.
@@ -605,6 +637,10 @@ func RunMultiContext(ctx context.Context, cfg Config, srcs ...trace.Source) (res
 		}
 	}()
 	cores := len(srcs)
+	parallel, err := resolveParallel(cfg, cores)
+	if err != nil {
+		return MultiResult{}, err
+	}
 	orig := make([]trace.Source, cores)
 	copy(orig, srcs)
 	limited := make([]trace.Source, cores)
@@ -630,9 +666,12 @@ func RunMultiContext(ctx context.Context, cfg Config, srcs ...trace.Source) (res
 		return MultiResult{}, err
 	}
 	mem := newMultiMemSystem(cfg, l2, hybrid, cores)
+	if parallel {
+		return runMultiParallel(ctx, cfg, mem, hybrid, limited, orig, maxCycles)
+	}
 	cpus := make([]*cpu.CPU, cores)
 	for i, src := range limited {
-		cpus[i] = cpu.New(cfg.CPU, mem.ports[i], src)
+		cpus[i] = cfg.Arena.getCPU(cfg.CPU, mem.ports[i], src)
 	}
 	var auditor *audit.Auditor
 	if cfg.Audit {
@@ -711,7 +750,29 @@ func RunMultiContext(ctx context.Context, cfg Config, srcs ...trace.Source) (res
 		}
 	}
 
-	res = MultiResult{
+	res, err = assembleMulti(cfg, mem, hybrid, cpus, perRetired, now, orig)
+	if err != nil {
+		return res, err
+	}
+	if auditor != nil {
+		auditor.CheckNow(now)
+		res.Audit = auditor.Report()
+		if err := res.Audit.Err(); err != nil {
+			return res, err
+		}
+	}
+	cfg.Arena.releaseMulti(mem)
+	cfg.Arena.putCPUs(cpus...)
+	return res, nil
+}
+
+// assembleMulti builds the MultiResult both multi-core engines share: the
+// shared-L2 aggregates, one CoreResult per core, hybrid/learned extras and
+// the deferred source-error check. The caller layers on engine-specific
+// pieces (the serial engine its audit report, the parallel engine its
+// ParallelStats) and returns the memory system to the arena.
+func assembleMulti(cfg Config, mem *multiMemSystem, hybrid core.Hybrid, cpus []*cpu.CPU, perRetired []uint64, now uint64, orig []trace.Source) (MultiResult, error) {
+	res := MultiResult{
 		Policy:   cfg.Policy.String(),
 		Cycles:   now,
 		L2:       mem.l2.Stats(),
@@ -757,13 +818,6 @@ func RunMultiContext(ctx context.Context, cfg Config, srcs ...trace.Source) (res
 			if err := es.Err(); err != nil {
 				return res, err
 			}
-		}
-	}
-	if auditor != nil {
-		auditor.CheckNow(now)
-		res.Audit = auditor.Report()
-		if err := res.Audit.Err(); err != nil {
-			return res, err
 		}
 	}
 	return res, nil

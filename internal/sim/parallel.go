@@ -1,0 +1,497 @@
+package sim
+
+// The deterministic parallel multi-core engine: one goroutine per core,
+// bit-identical to the serial engine in RunMultiContext.
+//
+// The design is a conservative wavefront. Each core advances its own
+// cycle counter and publishes it in a padded atomic (pos). Work that
+// touches only private state — L1 hits, the whole out-of-order window —
+// runs lock-free. Work that touches shared state (an L2 access, a DRAM
+// fill installing into the hierarchy) is an *ordered operation*: before
+// executing one at cycle t, core i waits until every lower-numbered core
+// has passed cycle t and every higher-numbered core has reached it, then
+// performs the operation under the engine's commit lock. That wait
+// condition reproduces the serial engine's exact interleaving — cores in
+// index order within a cycle, cycles in order — so the shared L2, the
+// replacement policy, the DRAM model and every cost clock observe the
+// same sequence of events the serial loop would have produced.
+//
+// Fills are the other synchronization point. A pending DRAM fill must
+// install at exactly its due cycle, before any core's accesses at that
+// cycle probe the L2 (the serial loop's Tick runs before the cores'
+// Cycles). Each core tracks the due cycles of the fills it is waiting on
+// (corePort.fillDue); at the top of a cycle that has one due, the core
+// waits for every core to reach that cycle and services everything due
+// through it under the commit lock. Because each owner halts at its own
+// dues, a fill is always serviced at its exact due cycle, and the
+// owner's L1 is never written while the owner is inside cpu.Cycle.
+//
+// Idle cycles fast-forward per core rather than globally. This is only
+// sound because an idle cycle's effects are identical whether the cycle
+// is executed or skipped: cpu.NoteSkipped attributes stall cycles in the
+// same priority order the fetch stage burns them, and any cycle whose
+// execution would mutate state (an MSHR-reject retry, a full store
+// buffer probe) counts as work and is never skipped — by either engine.
+// The equivalence suite (TestParallelMatchesSerial) holds the two
+// engines to DeepEqual results across policies, core counts and mixes.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mlpcache/internal/core"
+	"mlpcache/internal/cpu"
+	"mlpcache/internal/simerr"
+	"mlpcache/internal/trace"
+)
+
+// ParallelStats counts the parallel engine's coordination work. All
+// fields are schedule-independent — they depend only on the simulated
+// history, never on goroutine timing — so they are safe to include in
+// the DeepEqual determinism contract. Exported to the metrics registry
+// as the sim.parallel.* family (docs/OBSERVABILITY.md).
+type ParallelStats struct {
+	// SharedOps counts ordered shared-L2 operations committed through
+	// the wavefront protocol (L2 probes past the private L1).
+	SharedOps uint64
+	// FillWaits counts fill barriers: cycles at which a core halted to
+	// install DRAM fills due that cycle before simulating it.
+	FillWaits uint64
+	// TailCycles counts stall cycles attributed after the workers
+	// parked, replaying the serial loop's run-out to the final cycle.
+	TailCycles uint64
+}
+
+// resolveParallel decides which multi-core engine runs. ParallelOn
+// demands the parallel engine and errors if the configuration cannot
+// support it bit-identically; ParallelAuto uses it when supported and
+// more than one scheduler thread is available; ParallelOff never does.
+func resolveParallel(cfg Config, cores int) (bool, error) {
+	switch cfg.Parallel {
+	case ParallelOff:
+		return false, nil
+	case ParallelOn:
+		if err := parallelEligible(cfg, cores); err != nil {
+			return false, err
+		}
+		return true, nil
+	default: // ParallelAuto
+		if parallelEligible(cfg, cores) != nil {
+			return false, nil
+		}
+		return runtime.GOMAXPROCS(0) > 1, nil
+	}
+}
+
+// parallelEligible reports why a configuration is pinned to the serial
+// engine, or nil when the parallel engine can reproduce it exactly.
+func parallelEligible(cfg Config, cores int) error {
+	switch {
+	case cores < 2:
+		return simerr.New(simerr.ErrBadConfig, "sim: parallel engine needs at least 2 cores, got %d", cores)
+	case cfg.Audit:
+		return simerr.New(simerr.ErrBadConfig, "sim: parallel engine does not support auditing (invariant checks walk the global clock)")
+	case cfg.EpochInstructions > 0:
+		return simerr.New(simerr.ErrBadConfig, "sim: parallel engine does not support epochs (the schedule is ordered by global retirement)")
+	case cfg.MSHR.Adders > 0:
+		return simerr.New(simerr.ErrBadConfig, "sim: parallel engine needs the exact MSHR cost clock (MSHR.Adders == 0)")
+	}
+	return nil
+}
+
+// posParked is a parked core's published position: past every cycle, so
+// no waiter ever blocks on a core that has left the wavefront.
+const posParked = ^uint64(0)
+
+// parPos is one core's published cycle position, padded to its own
+// cache line so the wavefront spins of neighbouring cores don't
+// false-share.
+type parPos struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// parAbort unwinds a worker goroutine from arbitrarily deep inside
+// cpu.Cycle when the run is being torn down (cancellation, a peer's
+// panic, a memory-system error). It is thrown only by the worker's own
+// frames and recovered at the top of run.
+type parAbort struct{}
+
+type parEngine struct {
+	mem *multiMemSystem
+	pos []parPos
+
+	// mu is the commit lock: every shared-state mutation — ordered L2
+	// operations, fill service, trace emission — happens under it, at
+	// the operation's exact serial position. fillsThrough (guarded by
+	// mu) is the cycle through which pending fills have been installed.
+	mu           sync.Mutex
+	fillsThrough uint64
+
+	abort   atomic.Bool
+	errOnce sync.Once
+	err     error
+
+	wg sync.WaitGroup
+}
+
+// fail records the run's first error and tears the wavefront down.
+func (e *parEngine) fail(err error) {
+	e.errOnce.Do(func() { e.err = err })
+	e.abort.Store(true)
+}
+
+// serviceThrough installs every pending fill due at or before cycle t.
+// Callers hold mu and have established that every core has reached t, so
+// no core can still issue an ordered operation before a serviced fill's
+// due cycle. Each fill is serviced at exactly its own due cycle — the
+// serial engine's Tick order — regardless of which core triggers it.
+func (e *parEngine) serviceThrough(t uint64) error {
+	if t <= e.fillsThrough {
+		return nil
+	}
+	m := e.mem
+	for m.fills.Len() > 0 && m.fills.Peek().done <= t {
+		f := m.fills.Pop()
+		if m.tr != nil {
+			m.tr.now = f.done
+		}
+		if err := m.service(f, f.done); err != nil {
+			return err
+		}
+		m.fillFree = append(m.fillFree, f)
+	}
+	e.fillsThrough = t
+	return nil
+}
+
+// dueHeap is a core-local min-heap of fill due cycles the core is
+// waiting on. Duplicates are fine; the barrier pops everything due.
+type dueHeap struct{ h []uint64 }
+
+func (d *dueHeap) len() int    { return len(d.h) }
+func (d *dueHeap) min() uint64 { return d.h[0] }
+func (d *dueHeap) push(v uint64) {
+	d.h = append(d.h, v)
+	j := len(d.h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if d.h[j] >= d.h[i] {
+			break
+		}
+		d.h[i], d.h[j] = d.h[j], d.h[i]
+		j = i
+	}
+}
+
+func (d *dueHeap) pop() {
+	n := len(d.h) - 1
+	d.h[0] = d.h[n]
+	d.h = d.h[:n]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && d.h[j2] < d.h[j] {
+			j = j2
+		}
+		if d.h[j] >= d.h[i] {
+			break
+		}
+		d.h[i], d.h[j] = d.h[j], d.h[i]
+		i = j
+	}
+}
+
+// parkKind records how a worker left its loop, which the coordinator
+// turns into the run's final cycle count and tail attribution.
+type parkKind uint8
+
+const (
+	parkAborted   parkKind = iota // cancelled, peer failure, or own panic
+	parkFinished                  // source drained, window empty, fills serviced
+	parkWedged                    // idle forever: no events, no pending fills
+	parkExhausted                 // next event (or the clock) past MaxCycles
+)
+
+// parWorker drives one core. It owns the core's CPU, trace source and
+// private dues heap; everything shared goes through the engine.
+type parWorker struct {
+	eng  *parEngine
+	tid  int
+	port *corePort
+	cpu  *cpu.CPU
+	dues dueHeap
+
+	// clearedAt caches the last cycle whose wavefront wait completed:
+	// the wait conditions are monotone in the peers' positions, so later
+	// ordered operations in the same cycle skip the spin.
+	clearedAt uint64
+
+	parkKind parkKind
+	parkAt   uint64 // cycle through which this core's stalls are attributed
+	wake     uint64 // for parkExhausted: the core's next event past MaxCycles
+
+	retired   uint64
+	sharedOps uint64
+	fillWaits uint64
+}
+
+// Access implements cpu.MemSystem. The private L1 probe stays lock-free;
+// anything deeper is an ordered operation.
+func (w *parWorker) Access(addr uint64, write bool, now uint64) (uint64, bool) {
+	if w.port.l1.Probe(addr, write) {
+		return now + w.port.m.cfg.L1Lat, true
+	}
+	return w.sharedAccess(addr, write, now)
+}
+
+// sharedAccess commits one ordered L2 operation at (now, tid): wait for
+// the wavefront, then probe/allocate under the commit lock with every
+// fill due through now already installed.
+func (w *parWorker) sharedAccess(addr uint64, write bool, now uint64) (uint64, bool) {
+	if w.clearedAt < now {
+		w.waitPeers(now, true)
+		w.clearedAt = now
+	}
+	done, ok := w.commitAccess(addr, write, now)
+	w.sharedOps++
+	return done, ok
+}
+
+// commitAccess holds the commit lock for one ordered operation. The
+// deferred unlock matters: a panic under the lock (a policy bug, a user
+// MissHook) must release it on the way out, so the other workers observe
+// the abort flag instead of blocking on the lock forever.
+func (w *parWorker) commitAccess(addr uint64, write bool, now uint64) (uint64, bool) {
+	eng := w.eng
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	if eng.abort.Load() {
+		panic(parAbort{})
+	}
+	if err := eng.serviceThrough(now); err != nil {
+		eng.fail(err)
+		panic(parAbort{})
+	}
+	done, ok := w.port.accessL2(addr, write, now)
+	if due := w.port.fillDue; due != 0 {
+		w.dues.push(due)
+	}
+	return done, ok
+}
+
+// waitPeers blocks until every peer has reached cycle t. With ordered
+// true, lower-numbered peers must have passed t entirely (their cycle-t
+// operations commit first; that is the serial engine's core order).
+func (w *parWorker) waitPeers(t uint64, ordered bool) {
+	eng := w.eng
+	for j := range eng.pos {
+		if j == w.tid {
+			continue
+		}
+		need := t
+		if ordered && j < w.tid {
+			need = t + 1
+		}
+		for eng.pos[j].v.Load() < need {
+			if eng.abort.Load() {
+				panic(parAbort{})
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// fillBarrier runs at the top of cycle t when one of this core's fills
+// is due: once every core has reached t, install everything due through
+// t, exactly where the serial loop's Tick would have.
+func (w *parWorker) fillBarrier(t uint64) {
+	w.waitPeers(t, false)
+	w.commitService(t)
+	for w.dues.len() > 0 && w.dues.min() <= t {
+		w.dues.pop()
+	}
+	w.fillWaits++
+}
+
+// commitService is fillBarrier's locked half, with the same deferred
+// unlock-on-panic contract as commitAccess.
+func (w *parWorker) commitService(t uint64) {
+	eng := w.eng
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	if eng.abort.Load() {
+		panic(parAbort{})
+	}
+	if err := eng.serviceThrough(t); err != nil {
+		eng.fail(err)
+		panic(parAbort{})
+	}
+}
+
+func (w *parWorker) park(kind parkKind, at, wake uint64) {
+	w.parkKind = kind
+	w.parkAt = at
+	w.wake = wake
+	w.eng.pos[w.tid].v.Store(posParked)
+}
+
+// run is the per-core loop: the serial engine's cycle body, with the
+// global tick replaced by fill barriers, the global fast-forward by a
+// per-core one, and the loop exit by a park whose kind the coordinator
+// reduces to the shared clock's final value.
+func (w *parWorker) run(ctx context.Context, maxCycles uint64) {
+	defer w.eng.wg.Done()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(parAbort); !ok {
+			if err, ok := r.(error); ok {
+				w.eng.fail(simerr.Wrap(simerr.ErrInternal, err, fmt.Sprintf("sim: panic on core %d", w.tid)))
+			} else {
+				w.eng.fail(simerr.New(simerr.ErrInternal, "sim: panic on core %d: %v", w.tid, r))
+			}
+		}
+		w.park(parkAborted, 0, 0)
+	}()
+	eng := w.eng
+	disableFF := eng.mem.cfg.DisableFastForward
+	done := ctx.Done()
+	nextCancel := ^uint64(0)
+	if done != nil {
+		nextCancel = uint64(cancelCheckCycles)
+	}
+	c := w.cpu
+	for t := uint64(1); ; t++ {
+		if t > maxCycles {
+			w.park(parkExhausted, maxCycles, maxCycles+1)
+			return
+		}
+		if t >= nextCancel {
+			select {
+			case <-done:
+				eng.fail(simerr.Wrap(simerr.ErrCancelled, ctx.Err(),
+					fmt.Sprintf("sim: run cancelled at cycle %d", t)))
+				w.park(parkAborted, 0, 0)
+				return
+			default:
+			}
+			nextCancel = t + uint64(cancelCheckCycles)
+		}
+		if eng.abort.Load() {
+			w.park(parkAborted, 0, 0)
+			return
+		}
+		eng.pos[w.tid].v.Store(t)
+		if w.dues.len() > 0 && w.dues.min() <= t {
+			w.fillBarrier(t)
+		}
+		w.retired += uint64(c.Cycle(t))
+		if c.Finished() && w.dues.len() == 0 {
+			w.park(parkFinished, t, 0)
+			return
+		}
+		if !c.DidWork() && !disableFF {
+			wake := c.NextEvent(t)
+			if w.dues.len() > 0 && w.dues.min() < wake {
+				wake = w.dues.min()
+			}
+			if wake == ^uint64(0) {
+				w.park(parkWedged, t, 0)
+				return
+			}
+			if wake > maxCycles {
+				w.park(parkExhausted, t, wake)
+				return
+			}
+			if wake > t+1 {
+				c.NoteSkipped(wake - t - 1)
+				t = wake - 1
+			}
+		}
+	}
+}
+
+// runMultiParallel executes the run with one goroutine per core and
+// reduces the parked workers to the serial engine's exact result.
+func runMultiParallel(ctx context.Context, cfg Config, mem *multiMemSystem, hybrid core.Hybrid, limited, orig []trace.Source, maxCycles uint64) (MultiResult, error) {
+	cores := len(limited)
+	eng := &parEngine{mem: mem, pos: make([]parPos, cores)}
+	workers := make([]*parWorker, cores)
+	for i := range workers {
+		w := &parWorker{eng: eng, tid: i, port: mem.ports[i]}
+		w.cpu = cfg.Arena.getCPU(cfg.CPU, w, limited[i])
+		workers[i] = w
+	}
+	eng.wg.Add(cores)
+	for _, w := range workers {
+		go w.run(ctx, maxCycles)
+	}
+	eng.wg.Wait()
+	if eng.err != nil {
+		return MultiResult{}, eng.err
+	}
+
+	// Reduce the parks to the serial loop's final cycle. With every core
+	// run out, the serial loop would have: broken at the last finish (or
+	// last fill install) when all sources drain; broken at the last
+	// core's idle point when the chip wedges; or fast-forwarded past
+	// MaxCycles to the earliest next event when the clock exhausts, so
+	// the clock lands on that event. Stall attribution for the cycles
+	// between a core's park and that final cycle is replayed in bulk —
+	// identical to executing them, which is what makes the per-core
+	// fast-forward exact (see the package comment).
+	par := &ParallelStats{}
+	var now uint64
+	exhausted := false
+	wakeMin := ^uint64(0)
+	for _, w := range workers {
+		if w.parkKind == parkExhausted {
+			exhausted = true
+			if w.wake < wakeMin {
+				wakeMin = w.wake
+			}
+		}
+		if w.parkAt > now {
+			now = w.parkAt
+		}
+		par.SharedOps += w.sharedOps
+		par.FillWaits += w.fillWaits
+	}
+	if exhausted {
+		now = wakeMin
+	}
+	for _, w := range workers {
+		through := now
+		if exhausted {
+			through = now - 1 // the serial loop attributes up to the wake it exits on
+		}
+		if w.parkKind != parkFinished && through > w.parkAt {
+			w.cpu.NoteSkipped(through - w.parkAt)
+			par.TailCycles += through - w.parkAt
+		}
+	}
+
+	perRetired := make([]uint64, cores)
+	cpus := make([]*cpu.CPU, cores)
+	for i, w := range workers {
+		perRetired[i] = w.retired
+		cpus[i] = w.cpu
+	}
+	res, err := assembleMulti(cfg, mem, hybrid, cpus, perRetired, now, orig)
+	if err != nil {
+		return res, err
+	}
+	res.Parallel = par
+	cfg.Arena.releaseMulti(mem)
+	cfg.Arena.putCPUs(cpus...)
+	return res, nil
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"mlpcache/internal/simerr"
+	"mlpcache/internal/trace"
+	"mlpcache/internal/workload"
+)
+
+// parallelMixes are the heterogeneous workload mixes the equivalence
+// sweep runs: distinct benchmarks per core so contention, cross-core
+// merges and per-thread cost clocks all see asymmetric traffic.
+var parallelMixes = map[string][]string{
+	"mcf+art":    {"mcf", "art"},
+	"parser+mcf": {"parser", "mcf"},
+}
+
+func mixSources(t *testing.T, names []string, cores int) []trace.Source {
+	t.Helper()
+	srcs := make([]trace.Source, cores)
+	for i := 0; i < cores; i++ {
+		spec, ok := workload.ByName(names[i%len(names)])
+		if !ok {
+			t.Fatalf("benchmark %q missing", names[i%len(names)])
+		}
+		srcs[i] = spec.Build(uint64(11 + i))
+	}
+	return srcs
+}
+
+// TestParallelMatchesSerial is the parallel engine's correctness anchor:
+// across policies (including the bandit and the learned predictor), core
+// counts and heterogeneous mixes, a forced-parallel RunMulti must
+// reproduce the serial engine's MultiResult bit for bit — every counter
+// block, histogram, PSEL value and the final cycle count. Only the
+// Parallel block itself (absent from serial results) is excluded.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is a long test")
+	}
+	for mixName, mix := range parallelMixes {
+		for _, kind := range []PolicyKind{PolicyLRU, PolicyLIN, PolicySBAR, PolicyBandit, PolicyLearned} {
+			for _, cores := range []int{1, 2, 4} {
+				mix, kind, cores := mix, kind, cores
+				t.Run(mixName+"/"+string(kind)+"/"+itoa(cores), func(t *testing.T) {
+					t.Parallel()
+					cfg := DefaultConfig()
+					cfg.MaxInstructions = 40_000
+					cfg.Policy = PolicySpec{Kind: kind, Seed: 7}
+					cfg.Parallel = ParallelOff
+					serial, err := RunMulti(cfg, mixSources(t, mix, cores)...)
+					if err != nil {
+						t.Fatalf("serial run failed: %v", err)
+					}
+					// A single core is ineligible for the parallel engine
+					// (ParallelOn rejects it); auto mode must fall back to
+					// the serial loop and still match bit for bit.
+					if cores == 1 {
+						cfg.Parallel = ParallelAuto
+					} else {
+						cfg.Parallel = ParallelOn
+					}
+					par, err := RunMulti(cfg, mixSources(t, mix, cores)...)
+					if err != nil {
+						t.Fatalf("parallel run failed: %v", err)
+					}
+					if cores > 1 {
+						if par.Parallel == nil {
+							t.Fatal("parallel run did not report ParallelStats")
+						}
+						if par.Parallel.SharedOps == 0 {
+							t.Fatal("parallel run committed no shared operations")
+						}
+						par.Parallel = nil
+					} else if par.Parallel != nil {
+						t.Fatal("auto mode engaged the parallel engine on one core")
+					}
+					if !reflect.DeepEqual(par, serial) {
+						t.Fatalf("parallel result diverges from serial engine:\nparallel: %+v\nserial:   %+v", par, serial)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerialNoFastForward pins the burn-every-cycle path:
+// with fast-forward disabled the workers never skip, and the result must
+// still match the serial engine exactly.
+func TestParallelMatchesSerialNoFastForward(t *testing.T) {
+	if testing.Short() {
+		t.Skip("burns every stall cycle")
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 5_000
+	cfg.DisableFastForward = true
+	cfg.Parallel = ParallelOff
+	serial, err := RunMulti(cfg, mixSources(t, []string{"mcf", "art"}, 2)...)
+	if err != nil {
+		t.Fatalf("serial run failed: %v", err)
+	}
+	cfg.Parallel = ParallelOn
+	par, err := RunMulti(cfg, mixSources(t, []string{"mcf", "art"}, 2)...)
+	if err != nil {
+		t.Fatalf("parallel run failed: %v", err)
+	}
+	par.Parallel = nil
+	if !reflect.DeepEqual(par, serial) {
+		t.Fatalf("parallel result diverges from serial engine without fast-forward:\nparallel: %+v\nserial:   %+v", par, serial)
+	}
+}
+
+// TestParallelDeterminism runs the parallel engine twice under the same
+// configuration: goroutine scheduling must not leak into any field,
+// ParallelStats included.
+func TestParallelDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 30_000
+	cfg.Policy = PolicySpec{Kind: PolicySBAR, Seed: 7, RandDynamic: true}
+	cfg.Parallel = ParallelOn
+	a, err := RunMulti(cfg, mixSources(t, []string{"mcf", "art"}, 2)...)
+	if err != nil {
+		t.Fatalf("first run failed: %v", err)
+	}
+	b, err := RunMulti(cfg, mixSources(t, []string{"mcf", "art"}, 2)...)
+	if err != nil {
+		t.Fatalf("second run failed: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel runs diverge:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestParallelRejectsIneligible pins the fail-fast contract: forcing the
+// parallel engine onto a configuration it cannot reproduce bit-identically
+// is a typed configuration error, not a silent fallback.
+func TestParallelRejectsIneligible(t *testing.T) {
+	base := func() Config {
+		cfg := DefaultConfig()
+		cfg.MaxInstructions = 1_000
+		cfg.Parallel = ParallelOn
+		return cfg
+	}
+	cases := []struct {
+		name  string
+		cores int
+		mut   func(*Config)
+	}{
+		{"one-core", 1, func(*Config) {}},
+		{"audit", 2, func(c *Config) { c.Audit = true }},
+		{"epochs", 2, func(c *Config) { c.EpochInstructions = 1_000 }},
+		{"mshr-adders", 2, func(c *Config) { c.MSHR.Adders = 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mut(&cfg)
+			_, err := RunMulti(cfg, mixSources(t, []string{"mcf", "art"}, tc.cores)...)
+			if !errors.Is(err, simerr.ErrBadConfig) {
+				t.Fatalf("want ErrBadConfig, got %v", err)
+			}
+		})
+	}
+	// Auto mode must fall back silently on the same configurations.
+	for _, tc := range cases {
+		cfg := base()
+		cfg.Parallel = ParallelAuto
+		tc.mut(&cfg)
+		if tc.name == "audit" {
+			cfg.AuditEvery = 512
+		}
+		if _, err := RunMulti(cfg, mixSources(t, []string{"mcf", "art"}, tc.cores)...); err != nil {
+			t.Fatalf("%s: auto mode should fall back to serial, got %v", tc.name, err)
+		}
+	}
+}
+
+// TestParallelCancellation cancels a forced-parallel run mid-flight: the
+// workers must unwind from wherever the wavefront has them (spinning,
+// deep in cpu.Cycle, holding nothing), the run must return ErrCancelled,
+// and no goroutine may outlive the call.
+func TestParallelCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig()
+	cfg.Parallel = ParallelOn
+	cfg.MaxInstructions = 5_000_000 // far more work than the deadline allows
+	_, err := RunMultiContext(ctx, cfg, mixSources(t, []string{"mcf", "art"}, 4)...)
+	if !errors.Is(err, simerr.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err = RunMultiContext(ctx, cfg, mixSources(t, []string{"mcf", "art"}, 4)...)
+	if !errors.Is(err, simerr.ErrCancelled) {
+		t.Fatalf("want ErrCancelled after deadline, got %v", err)
+	}
+	// The workers are joined before RunMultiContext returns; give the
+	// runtime a moment to retire exiting goroutines, then insist none
+	// leaked.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked across cancelled parallel run: %d before, %d after", before, after)
+	}
+}
+
+// TestParallelPanicIsInternalError injects a panic into one core's miss
+// path (via MissHook, which runs under the commit lock) and requires the
+// run to surface ErrInternal with every worker unwound — no barrier may
+// deadlock on the dead core.
+func TestParallelPanicIsInternalError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := DefaultConfig()
+	cfg.Parallel = ParallelOn
+	cfg.MaxInstructions = 200_000
+	hooked := 0
+	cfg.MissHook = func(addr uint64, costQ uint8) {
+		hooked++
+		if hooked == 100 {
+			panic("injected fault")
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunMulti(cfg, mixSources(t, []string{"mcf", "art"}, 4)...)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, simerr.ErrInternal) {
+			t.Fatalf("want ErrInternal, got %v", err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("parallel run deadlocked after injected panic")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked after injected panic: %d before, %d after", before, after)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -212,7 +212,7 @@ func RunContext(ctx context.Context, cfg Config, src trace.Source) (res Result, 
 		inj = faultinject.NewInjector(*cfg.Faults)
 	}
 	mem := newMemSystem(cfg, l2, hybrid, inj)
-	c := cpu.New(cfg.CPU, mem, src)
+	c := cfg.Arena.getCPU(cfg.CPU, mem, src)
 	var auditor *audit.Auditor
 	if cfg.Audit {
 		auditor = buildAuditor(cfg, mem, hybrid)
@@ -364,6 +364,11 @@ func RunContext(ctx context.Context, cfg Config, src trace.Source) (res Result, 
 			return res, err
 		}
 	}
+	// The result is fully assembled (stats copied by value, histograms
+	// kept — the arena never pools them), so the machine's bulk
+	// components can go back to the pool for the next run.
+	cfg.Arena.release(mem)
+	cfg.Arena.putCPUs(c)
 	return res, nil
 }
 

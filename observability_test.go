@@ -190,6 +190,37 @@ func multicoreRegistry(t testing.TB) *metrics.Registry {
 	return res.Metrics()
 }
 
+// parallelRegistry returns the registry of the covering parallel run —
+// a two-core mix executed by the wavefront engine (mlpsim -parallel on)
+// drawing from a warmed arena — so the sim.parallel.* family registers
+// from MultiResult.Parallel and the arena.* recycling family from
+// ArenaStats.Observe, exactly as mlpsim composes them.
+func parallelRegistry(t testing.TB) *metrics.Registry {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = 60_000
+	cfg.Parallel = sim.ParallelOn
+	cfg.Arena = sim.NewArena()
+	var srcs []trace.Source
+	for i, bench := range []string{"mcf", "art"} {
+		w, ok := workload.ByName(bench)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", bench)
+		}
+		srcs = append(srcs, w.Build(42+uint64(i)))
+	}
+	res, err := sim.RunMulti(cfg, srcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallel == nil {
+		t.Fatal("forced parallel run reported no ParallelStats")
+	}
+	reg := res.Metrics()
+	cfg.Arena.Stats().Observe(reg)
+	return reg
+}
+
 // learnRegistry returns the registry of the covering learned run — a
 // bandit simulation, whose Stats populate every field observeLearn
 // exports, so the full learn.* family (docs/LEARNED.md) registers.
@@ -248,6 +279,11 @@ func TestMetricCatalogMatchesEmission(t *testing.T) {
 	// The multi-core families (mlpsim -cores N): multicore.* and the
 	// per-core core.<i>.* groups the template rows expand to.
 	for _, s := range multicoreRegistry(t).Samples() {
+		emitted[s.Name] = s.Kind
+	}
+	// The parallel engine (mlpsim -parallel on) and arena recycling
+	// families: sim.parallel.* and arena.*.
+	for _, s := range parallelRegistry(t).Samples() {
 		emitted[s.Name] = s.Kind
 	}
 

@@ -8,8 +8,9 @@
 //     so godoc always says which part of the paper a package models.
 //     Additionally, every `learn.*` metric registered in internal/sim
 //     must be catalogued (backticked) in docs/LEARNED.md and
-//     docs/OBSERVABILITY.md, so the learned-policy metric family
-//     cannot grow undocumented names.
+//     docs/OBSERVABILITY.md, and every `sim.parallel.*` / `arena.*`
+//     metric in docs/OBSERVABILITY.md, so those metric families cannot
+//     grow undocumented names.
 //   - -stdout: no CLI sends telemetry to stdout. Reports belong on
 //     stdout; metric and event JSONL documents belong in files (the
 //     docs/OBSERVABILITY.md contract), so passing os.Stdout to
@@ -145,10 +146,23 @@ func checkDocs() []string {
 	return problems
 }
 
+// metricDocRules maps a registered metric-name prefix to the docs that
+// must catalogue (backtick) every name carrying it: the learned family
+// is documented twice (its own guide plus the catalog); the parallel
+// engine and arena recycling families live in the catalog alone.
+var metricDocRules = []struct {
+	prefix string
+	docs   []string
+}{
+	{"learn.", []string{"LEARNED.md", "OBSERVABILITY.md"}},
+	{"sim.parallel.", []string{"OBSERVABILITY.md"}},
+	{"arena.", []string{"OBSERVABILITY.md"}},
+}
+
 // checkLearnMetricsDocumented collects every string-literal metric name
-// starting with "learn." passed to a Counter/Gauge registration inside
-// internal/sim and requires each to appear backticked in both
-// docs/LEARNED.md and docs/OBSERVABILITY.md. (The contract tests check
+// matching a metricDocRules prefix passed to a Counter/Gauge
+// registration inside internal/sim and requires each to appear
+// backticked in that prefix's required docs. (The contract tests check
 // the emitted set at runtime; this check catches a new registration at
 // lint time, before any simulation runs.)
 func checkLearnMetricsDocumented() []string {
@@ -178,8 +192,11 @@ func checkLearnMetricsDocumented() []string {
 				return true
 			}
 			name := strings.Trim(lit.Value, "`\"")
-			if strings.HasPrefix(name, "learn.") {
-				names[name] = fset.Position(lit.Pos())
+			for _, rule := range metricDocRules {
+				if strings.HasPrefix(name, rule.prefix) {
+					names[name] = fset.Position(lit.Pos())
+					break
+				}
 			}
 			return true
 		})
@@ -188,14 +205,18 @@ func checkLearnMetricsDocumented() []string {
 	if err != nil {
 		return []string{fmt.Sprintf("lint: %v", err)}
 	}
-	docPaths := []string{filepath.Join("docs", "LEARNED.md"), filepath.Join("docs", "OBSERVABILITY.md")}
-	bodies := make([]string, len(docPaths))
-	for i, doc := range docPaths {
-		raw, err := os.ReadFile(doc)
-		if err != nil {
-			return []string{fmt.Sprintf("lint: %v", err)}
+	bodies := map[string]string{}
+	for _, rule := range metricDocRules {
+		for _, doc := range rule.docs {
+			if _, ok := bodies[doc]; ok {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join("docs", doc))
+			if err != nil {
+				return []string{fmt.Sprintf("lint: %v", err)}
+			}
+			bodies[doc] = string(raw)
 		}
-		bodies[i] = string(raw)
 	}
 	sorted := make([]string, 0, len(names))
 	for name := range names {
@@ -203,11 +224,17 @@ func checkLearnMetricsDocumented() []string {
 	}
 	sort.Strings(sorted)
 	for _, name := range sorted {
-		for i, doc := range docPaths {
-			if !strings.Contains(bodies[i], "`"+name+"`") {
-				problems = append(problems, fmt.Sprintf(
-					"%s: metric %q is not catalogued in %s", names[name], name, doc))
+		for _, rule := range metricDocRules {
+			if !strings.HasPrefix(name, rule.prefix) {
+				continue
 			}
+			for _, doc := range rule.docs {
+				if !strings.Contains(bodies[doc], "`"+name+"`") {
+					problems = append(problems, fmt.Sprintf(
+						"%s: metric %q is not catalogued in docs/%s", names[name], name, doc))
+				}
+			}
+			break
 		}
 	}
 	return problems
